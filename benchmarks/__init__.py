@@ -1,0 +1,2 @@
+# benchmarks is a package so experiment modules can share conftest
+# helpers via `from benchmarks.conftest import ...`.

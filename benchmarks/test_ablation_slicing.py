@@ -1,0 +1,96 @@
+"""Ablation: what does each ingredient of LDV's DB slicing buy?
+
+The server-included package ships only tuple versions the run depended
+on. That rests on two design choices the paper argues for:
+
+1. **fine-grained (tuple-level) DB provenance** — without it, every
+   query conservatively depends on the whole input table (the
+   blackbox assumption PTU/CDE are stuck with), so the package must
+   ship every accessed table in full;
+2. **excluding app-created tuple versions** — without it, replayed
+   INSERTs collide with shipped copies (Section II's duplicate
+   problem) and the package carries redundant bytes.
+
+This bench quantifies both on the Q1 sweep: bytes shipped under
+(a) LDV slicing, (b) whole-accessed-tables, (c) slicing without the
+app-created exclusion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ldv_audit
+from repro.core.package import Package
+from repro.db import csvio
+from repro.workloads.app import APP_BINARY
+from repro.workloads.tpch.queries import variant_by_id
+
+from benchmarks.conftest import BENCH_CONFIG, fresh_world
+
+QUERY_IDS = ["Q1-1", "Q1-3", "Q1-5"]
+
+
+def accessed_table_bytes(world, session) -> int:
+    """Design choice 1 ablated: ship every accessed table in full."""
+    monitor = session.db_monitor
+    total = 0
+    for table_name in monitor.versions.enabled_tables:
+        heap = world.database.catalog.get_table(table_name)
+        text = csvio.format_versioned_rows(
+            ((rowid, heap.versions[rowid], values)
+             for rowid, values in heap.scan()), heap.schema)
+        total += len(text.encode())
+    return total
+
+
+def with_created_bytes(world, session) -> int:
+    """Design choice 2 ablated: also ship app-created versions."""
+    monitor = session.db_monitor
+    total = 0
+    created_by_table: dict[str, list] = {}
+    for ref in monitor.created_refs:
+        created_by_table.setdefault(ref.table, []).append(ref)
+    tables = set(monitor.relevant.tables()) | set(created_by_table)
+    for table_name in tables:
+        heap = world.database.catalog.get_table(table_name)
+        rows = list(monitor.relevant.rows_for(table_name))
+        for ref in created_by_table.get(table_name, ()):
+            if ref.rowid in heap.rows:
+                rows.append((ref.rowid, ref.version, heap.get(ref.rowid)))
+        text = csvio.format_versioned_rows(rows, heap.schema)
+        total += len(text.encode())
+    return total
+
+
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_ablation_slicing(benchmark, tmp_path, report, query_id):
+    variant = variant_by_id(BENCH_CONFIG, query_id)
+    world = fresh_world(tmp_path / query_id, variant=variant,
+                        with_data_dir=False)
+
+    def audit():
+        return ldv_audit(
+            world.vos, APP_BINARY, tmp_path / f"pkg-{query_id}",
+            mode="server-included", argv=["3"],
+            database=world.database, server_name=world.server_name,
+            server_binary_paths=world.server_binary_paths)
+
+    audit_report = benchmark.pedantic(audit, rounds=1, iterations=1)
+    session = audit_report.session
+    package = Package.load(tmp_path / f"pkg-{query_id}")
+    sliced = package.breakdown().get("db/restore", 0)
+    whole_tables = accessed_table_bytes(world, session)
+    with_created = with_created_bytes(world, session)
+
+    report.add(
+        "Ablation — DB payload bytes by slicing strategy",
+        ("variant", "ldv_sliced", "no_exclusion", "whole_tables",
+         "slicing_gain"),
+        (query_id, sliced, with_created, whole_tables,
+         f"{whole_tables / max(sliced, 1):.1f}x"))
+
+    # fine-grained provenance must beat whole-table shipping, and
+    # excluding app-created versions must not increase the payload
+    assert sliced < whole_tables
+    assert sliced <= with_created

@@ -1,0 +1,93 @@
+"""Figure 9 — package size for every Table II variant.
+
+Builds PTU, server-included, and server-excluded packages for each of
+the 18 variants and reports their on-disk byte totals.
+
+Shape assertions (Section IX-E):
+  * server-included packages are significantly smaller than PTU
+    packages (they ship only the relevant tuple subset),
+  * server-excluded is usually smallest but *crosses over* where query
+    results outgrow the shipped provenance — Q3 (one aggregate row) is
+    its best case, high-selectivity Q1 its worst,
+  * within Q1, the server-included restore grows with selectivity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.package import Package
+
+from benchmarks.conftest import ALL_VARIANTS, timed
+
+_sizes: dict[str, dict[str, int]] = {}
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS,
+                         ids=[v.query_id for v in ALL_VARIANTS])
+def test_fig9_package_size(benchmark, package_cache, report, variant):
+    def build_all():
+        return {kind: package_cache.get(variant, kind)
+                for kind in ("ptu", "included", "excluded")}
+
+    paths = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    sizes = {kind: Package.load(path).total_bytes()
+             for kind, path in paths.items()}
+    _sizes[variant.query_id] = sizes
+    included_breakdown = Package.load(paths["included"]).breakdown()
+    report.add(
+        "Fig 9 — package size (bytes)",
+        ("variant", "ptu", "server-included", "server-excluded",
+         "included_restore_bytes"),
+        (variant.query_id, sizes["ptu"], sizes["included"],
+         sizes["excluded"], included_breakdown.get("db/restore", 0)))
+
+
+def test_fig9_shapes(benchmark, package_cache):
+    if len(_sizes) < len(ALL_VARIANTS):
+        pytest.skip("sizes incomplete")
+    benchmark.pedantic(_check_fig9_shapes, args=(package_cache,),
+                       rounds=1, iterations=1)
+
+
+def _check_fig9_shapes(package_cache):
+    # "LDV packages are significantly smaller than PTU packages when
+    # queries have low selectivity" (Fig 9's caption). At bench scale
+    # the data directory is tiny, so the claim is asserted exactly as
+    # scoped: for the low-selectivity half of every family.
+    low_selectivity = ("Q1-1", "Q1-2", "Q1-3", "Q2-1", "Q2-2",
+                       "Q3-1", "Q3-2", "Q4-1", "Q4-2", "Q4-3")
+    for query_id in low_selectivity:
+        sizes = _sizes[query_id]
+        assert sizes["included"] < sizes["ptu"], query_id
+
+    # the DB-payload comparison — relevant-tuple CSVs vs full data
+    # files — holds for every variant: that is the slicing claim
+    # independent of the shared binaries
+    for query_id in _sizes:
+        included = Package.load(
+            package_cache.package_dir(query_id, "included"))
+        ptu = Package.load(package_cache.package_dir(query_id, "ptu"))
+        restore_bytes = included.breakdown().get("db/restore", 0)
+        data_bytes = ptu.breakdown().get("db/data", 0)
+        assert restore_bytes < data_bytes, query_id
+
+    # the included restore payload grows with Q1 selectivity
+    restores = []
+    for index in range(1, 6):
+        package = Package.load(
+            package_cache.package_dir(f"Q1-{index}", "included"))
+        restores.append(package.breakdown().get("db/restore", 0))
+    assert restores[0] < restores[-1]
+
+    # Q3's server-excluded package is (near-)minimal: its recorded
+    # results are one row per query, so it undercuts server-included
+    q3 = _sizes["Q3-1"]
+    assert q3["excluded"] < q3["included"]
+
+    # crossover existence: across the sweep there are variants where
+    # excluded < included and the data payloads move in opposite
+    # directions (results grow with selectivity, Q3 stays flat)
+    excluded_wins = sum(1 for sizes in _sizes.values()
+                        if sizes["excluded"] < sizes["included"])
+    assert excluded_wins >= 4

@@ -1,0 +1,115 @@
+"""Engine micro-benchmarks: the substrate costs behind the figures.
+
+Quantifies the unit costs the experiment-level numbers are built from:
+
+* scan / filter / hash-join / aggregate throughput,
+* the *lineage tax* — the same query with and without provenance
+  tracking (Perm's overhead, which server-included audit pays once
+  more per query),
+* the *wire tax* — executing through the client/server protocol vs
+  calling the engine directly (the interposition surface's cost).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database, DBClient, DBServer
+
+from benchmarks.conftest import BENCH_CONFIG, fresh_world
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    return fresh_world(tmp_path_factory.mktemp("micro"),
+                       with_data_dir=False)
+
+
+SCAN = "SELECT count(*) FROM lineitem"
+FILTER = "SELECT count(*) FROM lineitem WHERE l_quantity > 25"
+JOIN = ("SELECT count(*) FROM lineitem l, orders o "
+        "WHERE l.l_orderkey = o.o_orderkey")
+AGGREGATE = ("SELECT l_returnflag, sum(l_extendedprice), avg(l_quantity) "
+             "FROM lineitem GROUP BY l_returnflag")
+
+
+@pytest.mark.parametrize("label,sql", [
+    ("scan", SCAN),
+    ("filter", FILTER),
+    ("hash_join", JOIN),
+    ("aggregate", AGGREGATE),
+])
+def test_operator_throughput(benchmark, world, label, sql):
+    rows = benchmark(world.database.query, sql)
+    assert rows
+
+
+@pytest.mark.parametrize("label,sql", [
+    ("filter", FILTER),
+    ("hash_join", JOIN),
+    ("aggregate", AGGREGATE),
+])
+def test_lineage_tax(benchmark, world, report, label, sql):
+    """Provenance-tracked execution vs plain execution."""
+    import time
+
+    start = time.perf_counter()
+    world.database.execute(sql)
+    plain = time.perf_counter() - start
+
+    result = benchmark(world.database.execute, sql, True)
+    tracked = benchmark.stats.stats.mean
+    assert all(result.lineages)
+    report.add(
+        "Microbench — lineage tax (seconds per query)",
+        ("operator", "plain", "with_lineage", "tax"),
+        (label, plain, tracked, f"{tracked / max(plain, 1e-9):.2f}x"))
+
+
+def test_index_vs_scan(benchmark, world, report):
+    """Point lookup through a hash index vs a sequential scan."""
+    import time
+
+    database = world.database
+    point_query = "SELECT * FROM orders WHERE o_orderkey = 42"
+    # the TPC-H schema ships idx_orders_orderkey; measure with it
+    indexed = benchmark(database.query, point_query)
+    assert indexed
+    indexed_mean = benchmark.stats.stats.mean
+
+    database.execute("DROP INDEX idx_orders_orderkey")
+    try:
+        start = time.perf_counter()
+        scanned = database.query(point_query)
+        scan_seconds = time.perf_counter() - start
+    finally:
+        database.execute(
+            "CREATE INDEX idx_orders_orderkey ON orders (o_orderkey)")
+    assert scanned == indexed
+    report.add(
+        "Microbench — point lookup: index vs scan (seconds)",
+        ("path", "seconds", "speedup_vs_scan"),
+        ("index", indexed_mean,
+         f"{scan_seconds / max(indexed_mean, 1e-9):.0f}x"))
+    assert indexed_mean < scan_seconds
+
+
+def test_wire_tax(benchmark, world, report):
+    """Client/server round trip vs direct engine call."""
+    import time
+
+    server = DBServer(world.database)
+    client = DBClient(server.transport())
+    client.connect()
+
+    start = time.perf_counter()
+    world.database.query(FILTER)
+    direct = time.perf_counter() - start
+
+    benchmark(client.query, FILTER)
+    wired = benchmark.stats.stats.mean
+    client.close()
+    report.add(
+        "Microbench — wire protocol tax (seconds per query)",
+        ("path", "direct", "through_wire", "tax"),
+        ("filter", direct, wired, f"{wired / max(direct, 1e-9):.2f}x"))

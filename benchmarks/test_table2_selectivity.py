@@ -1,0 +1,69 @@
+"""Table II — the 18 query variants and their measured selectivities.
+
+Regenerates the Queries/PARAM/Selectivity columns of Table II at the
+benchmark scale and verifies that measured selectivities follow the
+paper's sweep (rows per variant monotone in the configured target).
+Also times plain (non-audited) query execution — the "PostgreSQL"
+baseline every figure normalizes against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    ALL_VARIANTS,
+    BENCH_CONFIG,
+    fresh_world,
+)
+
+_BASELINE_TIMES: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    return fresh_world(tmp_path_factory.mktemp("t2"), with_data_dir=False)
+
+
+def baseline_times() -> dict[str, float]:
+    """Plain query times measured by this module (seconds/query)."""
+    return dict(_BASELINE_TIMES)
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS,
+                         ids=[v.query_id for v in ALL_VARIANTS])
+def test_table2_variant(benchmark, world, report, variant):
+    database = world.database
+    rows = benchmark(database.query, variant.sql)
+    _BASELINE_TIMES[variant.query_id] = benchmark.stats.stats.mean
+
+    if variant.family in (1,):  # Q1: rows / lineitem rows
+        domain = world.row_counts["lineitem"]
+        measured = len(rows) / domain
+        assert measured == pytest.approx(variant.selectivity, rel=0.4)
+    if variant.family == 3:
+        assert len(rows) == 1  # count(*) always one row
+
+    report.add(
+        "Table II (measured at bench scale)",
+        ("variant", "param", "target_sel", "result_rows"),
+        (variant.query_id, variant.param,
+         round(variant.selectivity, 5), len(rows)))
+
+
+def test_q1_family_monotone(world):
+    sizes = [len(world.database.query(v.sql))
+             for v in ALL_VARIANTS if v.family == 1]
+    assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+
+
+def test_q2_family_monotone(world):
+    sizes = [len(world.database.query(v.sql))
+             for v in ALL_VARIANTS if v.family == 2]
+    assert sizes == sorted(sizes)
+
+
+def test_q4_family_monotone(world):
+    sizes = [len(world.database.query(v.sql))
+             for v in ALL_VARIANTS if v.family == 4]
+    assert sizes == sorted(sizes) and sizes[0] < sizes[-1]

@@ -1,0 +1,60 @@
+"""Table III — package contents by packaging option.
+
+PTU packages contain all data files of the full DB; server-included
+LDV packages contain server binaries, DB provenance, and an *empty*
+data directory; server-excluded packages contain neither server nor
+data files, only recorded results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.package import Package
+from repro.workloads.tpch.queries import variant_by_id
+
+from benchmarks.conftest import BENCH_CONFIG
+
+VARIANT = variant_by_id(BENCH_CONFIG, "Q1-1")
+
+# the paper's Table III, as (kind -> expected checklist)
+EXPECTED = {
+    "ptu": {
+        "software_binaries": True,
+        "db_server": True,
+        "full_data_files": True,
+        "empty_data_dir": False,
+        "db_provenance": False,
+    },
+    "included": {
+        "software_binaries": True,
+        "db_server": True,
+        "full_data_files": False,
+        "empty_data_dir": True,
+        "db_provenance": True,
+    },
+    "excluded": {
+        "software_binaries": True,
+        "db_server": False,
+        "full_data_files": False,
+        "empty_data_dir": False,
+        "db_provenance": True,
+    },
+}
+
+
+@pytest.mark.parametrize("kind", ["ptu", "included", "excluded"])
+def test_table3_contents(benchmark, package_cache, report, kind):
+    package_dir = benchmark.pedantic(
+        package_cache.get, args=(VARIANT, kind), rounds=1, iterations=1)
+    summary = Package.load(package_dir).contents_summary()
+    assert summary == EXPECTED[kind], kind
+    report.add(
+        "Table III — package contents",
+        ("kind", "binaries", "db_server", "data_files", "db_provenance"),
+        (kind,
+         "yes" if summary["software_binaries"] else "no",
+         "yes" if summary["db_server"] else "no",
+         "full" if summary["full_data_files"]
+         else ("empty" if summary["empty_data_dir"] else "no"),
+         "yes" if summary["db_provenance"] else "no"))

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (which need ``bdist_wheel``) cannot run.
+Keeping a ``setup.py`` beside ``pyproject.toml`` lets
+``pip install -e .`` fall back to the classic ``setup.py develop``
+code path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

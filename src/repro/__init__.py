@@ -1,0 +1,40 @@
+"""LDV: Light-weight Database Virtualization — a full reproduction.
+
+Reproduces Pham, Malik, Glavic, Foster: *LDV: Light-weight Database
+Virtualization*, ICDE 2015 — including every substrate the paper runs
+on. The top-level namespaces:
+
+* :mod:`repro.db` — a provenance-enabled relational DBMS (the
+  PostgreSQL + Perm stand-in),
+* :mod:`repro.vos` — a virtual OS with ptrace-style syscall tracing
+  (the Linux + PTU capture substrate),
+* :mod:`repro.provenance` — the paper's provenance models and the
+  temporal dependency-inference algorithm (Sections IV–VI),
+* :mod:`repro.monitor` — LDV monitoring (Section VII),
+* :mod:`repro.core` — packaging and re-execution, ``ldv-audit`` /
+  ``ldv-exec`` (Sections VII-D, VIII),
+* :mod:`repro.workloads` — TPC-H data generator, the Table II query
+  suite, and the benchmark application (Section IX-A),
+* :mod:`repro.baselines` — CDE, PTU, and VMI comparison systems.
+"""
+
+from repro.core import ldv_audit, ldv_exec
+from repro.db import Database, DBClient, DBServer
+from repro.monitor import AuditSession
+from repro.provenance import DependencyInference, ExecutionTrace
+from repro.vos import VirtualOS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ldv_audit",
+    "ldv_exec",
+    "Database",
+    "DBClient",
+    "DBServer",
+    "AuditSession",
+    "DependencyInference",
+    "ExecutionTrace",
+    "VirtualOS",
+    "__version__",
+]

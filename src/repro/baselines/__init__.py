@@ -1,0 +1,15 @@
+"""Comparison systems from the paper's evaluation (Section IX).
+
+* :mod:`repro.baselines.cde` — CDE-style plain application
+  virtualization (file snapshot only, no provenance, no DB support),
+* :mod:`repro.baselines.ptu_package` — PTU packaging: OS provenance
+  plus the *complete* DB (server binaries and full data files),
+* :mod:`repro.baselines.vmi` — the virtual-machine-image baseline as
+  a calibrated analytical model (size and runtime overhead).
+"""
+
+from repro.baselines.cde import build_cde_package
+from repro.baselines.ptu_package import build_ptu_package
+from repro.baselines.vmi import VMIModel
+
+__all__ = ["build_cde_package", "build_ptu_package", "VMIModel"]

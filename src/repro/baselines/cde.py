@@ -1,0 +1,79 @@
+"""CDE-style application virtualization (Guo et al., USENIX ATC 2011).
+
+CDE snapshots every file the traced application touched — binaries,
+libraries, data — into a chroot-able package. It keeps no provenance
+and knows nothing about databases: if the application talked to a DB
+server over a connection, nothing of the DB is captured and the
+package silently fails to be repeatable (the limitation Section I of
+the LDV paper sets out from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.monitor.ptu import PTUMonitor
+from repro.provenance.combined import TraceBuilder
+from repro.core.package import Manifest, Package, PackageKind
+from repro.vos.kernel import VirtualOS
+from repro.vos.ptrace import Tracer
+from repro.vos.syscalls import SyscallEvent, SyscallName
+
+
+class _ConnectDetector(Tracer):
+    """Notices DB connections CDE cannot do anything about."""
+
+    def __init__(self) -> None:
+        self.saw_db_traffic = False
+
+    def on_syscall(self, event: SyscallEvent) -> None:
+        if event.name is SyscallName.CONNECT:
+            self.saw_db_traffic = True
+
+
+@dataclass
+class CDEPackage:
+    """A plain file-snapshot package."""
+
+    package: Package
+    total_bytes: int
+    file_count: int
+    saw_db_traffic: bool
+
+
+def build_cde_package(vos: VirtualOS, entry_binary: str,
+                      out_dir: str | Path,
+                      argv: list[str] | None = None) -> CDEPackage:
+    """Run the application under file-only tracing and snapshot it.
+
+    Uses the PTU monitor's file bookkeeping (CDE and PTU share the
+    ptrace capture layer) but discards the provenance graph — only the
+    file snapshot ships.
+    """
+    builder = TraceBuilder()
+    monitor = PTUMonitor(builder)
+    detector = _ConnectDetector()
+    vos.attach_tracer(monitor)
+    vos.attach_tracer(detector)
+    try:
+        process = vos.run(entry_binary, list(argv or []))
+    finally:
+        vos.detach_tracer(monitor)
+        vos.detach_tracer(detector)
+    manifest = Manifest(
+        kind=PackageKind.PTU,  # same layout; no DB parts are written
+        entry_binary=entry_binary,
+        entry_argv=list(argv or []),
+        notes={"flavor": "cde", "exit_code": process.exit_code},
+    )
+    package = Package.create(out_dir, manifest)
+    count = 0
+    for path in sorted(monitor.input_paths()):
+        vos.fs.export_file(path, package.file_path(path))
+        count += 1
+    return CDEPackage(
+        package=package,
+        total_bytes=package.total_bytes(),
+        file_count=count,
+        saw_db_traffic=detector.saw_db_traffic)

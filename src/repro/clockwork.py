@@ -1,0 +1,52 @@
+"""Logical clock — the discrete time domain ``T`` of the paper.
+
+Execution traces (Definition 2) annotate every edge with an interval over
+a *discrete time domain*. Real wall-clock time is a poor fit for tests
+and deterministic replay, so the whole system shares one
+:class:`LogicalClock` per run: every observable event (syscall, statement
+execution, tuple production) draws a fresh, strictly increasing tick.
+
+The clock also supports *spans*: an operation that extends over time
+(a process holding a file open) records the tick at start and at end and
+stores the pair as a :class:`repro.provenance.interval.TimeInterval`.
+"""
+
+from __future__ import annotations
+
+
+class LogicalClock:
+    """A strictly monotonic integer clock.
+
+    >>> clock = LogicalClock()
+    >>> clock.tick()
+    1
+    >>> clock.tick()
+    2
+    >>> clock.now
+    2
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before time 0")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """The last tick handed out (``start`` if none yet)."""
+        return self._now
+
+    def tick(self) -> int:
+        """Advance time by one unit and return the new tick."""
+        self._now += 1
+        return self._now
+
+    def advance(self, delta: int) -> int:
+        """Advance time by ``delta >= 1`` units and return the new tick."""
+        if delta < 1:
+            raise ValueError("clock can only move forward")
+        self._now += delta
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalClock(now={self._now})"

@@ -1,0 +1,32 @@
+"""LDV core: audit, packaging, and re-execution (Sections VII–VIII).
+
+The paper's user-facing surface is two commands; this package provides
+their programmatic equivalents plus the building blocks:
+
+* :func:`repro.core.audit.ldv_audit` — run an application under full
+  monitoring and build a re-executable package (``ldv-audit``),
+* :func:`repro.core.replay.ldv_exec` — re-execute a package
+  (``ldv-exec``),
+* :mod:`repro.core.package` — the on-disk package format,
+* :mod:`repro.core.packager` — server-included / server-excluded
+  package construction (Section VII-D),
+* :mod:`repro.core.relevance` — trace-based relevant-tuple computation.
+"""
+
+from repro.core.audit import AuditReport, ldv_audit
+from repro.core.package import Package, PackageKind
+from repro.core.packager import Packager, PackagingResult
+from repro.core.relevance import relevant_tuple_versions
+from repro.core.replay import ReplayResult, ldv_exec
+
+__all__ = [
+    "AuditReport",
+    "ldv_audit",
+    "Package",
+    "PackageKind",
+    "Packager",
+    "PackagingResult",
+    "relevant_tuple_versions",
+    "ReplayResult",
+    "ldv_exec",
+]

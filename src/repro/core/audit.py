@@ -1,0 +1,70 @@
+"""One-shot audit + packaging (the ``ldv-audit`` command).
+
+``ldv_audit`` runs an application under full monitoring on a prepared
+virtual OS and immediately builds the requested package kind. For
+finer control (timing individual workload steps, as the benchmarks
+do), drive :class:`repro.monitor.session.AuditSession` and
+:class:`repro.core.packager.Packager` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.db.engine import Database
+from repro.errors import AuditError
+from repro.monitor.session import (
+    SERVER_EXCLUDED,
+    SERVER_INCLUDED,
+    AuditSession,
+)
+from repro.core.packager import Packager, PackagingResult
+from repro.vos.kernel import VirtualOS
+from repro.vos.process import Process
+
+
+@dataclass
+class AuditReport:
+    """The audited run plus the package built from it."""
+
+    process: Process
+    session: AuditSession
+    packaging: PackagingResult
+
+    @property
+    def package_path(self) -> Path:
+        return self.packaging.package.root
+
+    @property
+    def package_bytes(self) -> int:
+        return self.packaging.total_bytes
+
+
+def ldv_audit(vos: VirtualOS, entry_binary: str, out_dir: str | Path,
+              mode: str = SERVER_INCLUDED,
+              argv: Sequence[str] | None = None,
+              database: Database | None = None,
+              server_name: str = "main",
+              server_binary_paths: Sequence[str] = ()) -> AuditReport:
+    """Run ``entry_binary`` under LDV monitoring and build a package.
+
+    ``database`` (the server's engine) is required for server-included
+    packaging; ``server_binary_paths`` lists the server's binaries in
+    the virtual filesystem so they can be shipped.
+    """
+    if mode not in (SERVER_INCLUDED, SERVER_EXCLUDED):
+        raise AuditError(f"packaging requires mode {SERVER_INCLUDED!r} "
+                         f"or {SERVER_EXCLUDED!r}, not {mode!r}")
+    with AuditSession(vos, mode, database=database) as session:
+        process = vos.run(entry_binary, list(argv or []))
+    packager = Packager(vos, session, entry_binary, list(argv or []))
+    if mode == SERVER_INCLUDED:
+        assert database is not None
+        packaging = packager.build_server_included(
+            out_dir, database, server_name, list(server_binary_paths))
+    else:
+        packaging = packager.build_server_excluded(out_dir, server_name)
+    return AuditReport(process=process, session=session,
+                       packaging=packaging)

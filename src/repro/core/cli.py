@@ -1,0 +1,136 @@
+"""Command-line front end: ``ldv-audit`` and ``ldv-exec``.
+
+Applications in this reproduction are Python programs running on the
+virtual OS, so both commands take a *scenario*: a ``module:function``
+reference resolving to a callable that returns a :class:`Scenario`
+(the prepared virtual OS, DB server, entry binary, and the program
+registry replay needs). The workloads package ships ready-made ones,
+e.g.::
+
+    ldv-audit repro.workloads.app:build_scenario --mode server-included \
+        --out /tmp/pkg
+    ldv-exec /tmp/pkg repro.workloads.app:build_scenario
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.core.audit import ldv_audit
+from repro.core.replay import ldv_exec
+from repro.db.engine import Database
+from repro.errors import ReproError
+from repro.monitor.session import SERVER_EXCLUDED, SERVER_INCLUDED
+from repro.vos.kernel import VirtualOS
+
+
+@dataclass
+class Scenario:
+    """Everything needed to audit or replay one application."""
+
+    vos: VirtualOS
+    entry_binary: str
+    registry: Mapping[str, Callable]
+    argv: list[str] = field(default_factory=list)
+    database: Database | None = None
+    server_name: str = "main"
+    server_binary_paths: list[str] = field(default_factory=list)
+
+
+def load_scenario(spec: str) -> Scenario:
+    """Resolve ``module:function`` and call it."""
+    module_name, _, attribute = spec.partition(":")
+    if not attribute:
+        raise ReproError(
+            f"scenario spec {spec!r} must look like module:function")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ReproError(f"cannot import scenario module: {exc}") from exc
+    factory = getattr(module, attribute, None)
+    if factory is None:
+        raise ReproError(f"{module_name} has no attribute {attribute!r}")
+    if not callable(factory):
+        raise ReproError(f"{spec} is not callable")
+    scenario = factory()
+    if not isinstance(scenario, Scenario):
+        raise ReproError(
+            f"{spec} returned {type(scenario).__name__}, not Scenario")
+    return scenario
+
+
+def audit_main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ldv-audit",
+        description="Run an application under LDV monitoring and build "
+                    "a re-executable package.")
+    parser.add_argument("scenario", help="module:function building the "
+                                         "Scenario to audit")
+    parser.add_argument("--mode", choices=[SERVER_INCLUDED, SERVER_EXCLUDED],
+                        default=SERVER_INCLUDED)
+    parser.add_argument("--out", required=True,
+                        help="package output directory (must be empty)")
+    args = parser.parse_args(argv)
+    try:
+        scenario = load_scenario(args.scenario)
+        report = ldv_audit(
+            scenario.vos, scenario.entry_binary, args.out,
+            mode=args.mode, argv=scenario.argv,
+            database=scenario.database,
+            server_name=scenario.server_name,
+            server_binary_paths=scenario.server_binary_paths)
+    except ReproError as exc:
+        print(f"ldv-audit: error: {exc}", file=sys.stderr)
+        return 1
+    print(f"audited {scenario.entry_binary} "
+          f"(exit {report.process.exit_code})")
+    print(f"package: {report.package_path} "
+          f"({report.package_bytes} bytes, kind={args.mode})")
+    return 0 if report.process.exit_code == 0 else report.process.exit_code
+
+
+def exec_main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ldv-exec",
+        description="Re-execute an LDV package.")
+    parser.add_argument("package", help="package directory")
+    parser.add_argument("scenario",
+                        help="module:function supplying the program "
+                             "registry")
+    parser.add_argument("--binary", default=None,
+                        help="re-execute this packaged binary instead "
+                             "of the recorded entry point (partial "
+                             "re-execution)")
+    parser.add_argument("--allow-skip", action="store_true",
+                        help="allow skipping recorded statements "
+                             "(needed for partial re-execution of "
+                             "server-excluded packages)")
+    args = parser.parse_args(argv)
+    try:
+        scenario = load_scenario(args.scenario)
+        result = ldv_exec(args.package, scenario.registry,
+                          binary=args.binary,
+                          allow_skip=args.allow_skip)
+    except ReproError as exc:
+        print(f"ldv-exec: error: {exc}", file=sys.stderr)
+        return 1
+    print(f"re-executed (exit {result.process.exit_code}); "
+          f"{result.replayed_statements} statements replayed, "
+          f"{result.restored_tuples} tuples restored")
+    for path in sorted(result.outputs):
+        verdict = ""
+        if result.output_matches and path in result.output_matches:
+            verdict = ("  [matches original]"
+                       if result.output_matches[path]
+                       else "  [DIFFERS from original]")
+        print(f"output: {path} ({len(result.outputs[path])} bytes)"
+              f"{verdict}")
+    if not result.validated:
+        print("validation FAILED: outputs differ from the audited run",
+              file=sys.stderr)
+        return 3
+    return result.process.exit_code or 0

@@ -1,0 +1,261 @@
+"""The on-disk LDV package format.
+
+A package is a plain directory (so package size is measurable as the
+byte total Figure 9 reports)::
+
+    <pkg>/
+      MANIFEST.json          kind, entry point, DB metadata, counters
+      trace.json.gz          serialized combined execution trace
+                             (gzip — traces are highly repetitive)
+      files/<path>           virtual-FS snapshot of every input file
+      db/
+        server/<path>        DB server binaries        (server-included)
+        schema.sql           DDL for the shipped tables (server-included)
+        restore/<table>.csv  relevant tuple versions    (server-included)
+        data/.keep           the empty data directory of Table III
+      replay/
+        log.jsonl            ordered statement/result log (server-excluded)
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ManifestError, PackageError
+
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+TRACE_NAME = "trace.json.gz"
+FILES_DIR = "files"
+DB_DIR = "db"
+SERVER_DIR = "db/server"
+RESTORE_DIR = "db/restore"
+SCHEMA_FILE = "db/schema.sql"
+DATA_DIR = "db/data"
+REPLAY_DIR = "replay"
+REPLAY_LOG = "replay/log.jsonl"
+
+
+class PackageKind(enum.Enum):
+    SERVER_INCLUDED = "server-included"
+    SERVER_EXCLUDED = "server-excluded"
+    PTU = "ptu"  # the baseline format shares the layout
+
+
+@dataclass
+class Manifest:
+    """Package metadata."""
+
+    kind: PackageKind
+    entry_binary: str
+    entry_argv: list[str] = field(default_factory=list)
+    db_server_name: str | None = None
+    tables: list[str] = field(default_factory=list)
+    format_version: int = FORMAT_VERSION
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "format_version": self.format_version,
+            "kind": self.kind.value,
+            "entry": {"binary": self.entry_binary,
+                      "argv": self.entry_argv},
+            "db": {"server_name": self.db_server_name,
+                   "tables": self.tables},
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "Manifest":
+        try:
+            return cls(
+                kind=PackageKind(data["kind"]),
+                entry_binary=data["entry"]["binary"],
+                entry_argv=list(data["entry"].get("argv", [])),
+                db_server_name=data["db"].get("server_name"),
+                tables=list(data["db"].get("tables", [])),
+                format_version=int(data.get("format_version", 0)),
+                notes=dict(data.get("notes", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(f"malformed manifest: {exc}") from exc
+
+
+class Package:
+    """A package rooted at a host directory."""
+
+    def __init__(self, root: str | Path, manifest: Manifest) -> None:
+        self.root = Path(root)
+        self.manifest = manifest
+
+    # -- creation ----------------------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str | Path, manifest: Manifest) -> "Package":
+        root = Path(root)
+        if root.exists() and any(root.iterdir()):
+            raise PackageError(f"package directory {root} is not empty")
+        root.mkdir(parents=True, exist_ok=True)
+        package = cls(root, manifest)
+        package.write_manifest()
+        return package
+
+    def write_manifest(self) -> None:
+        (self.root / MANIFEST_NAME).write_text(
+            json.dumps(self.manifest.to_json(), indent=2) + "\n")
+
+    # -- loading ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, root: str | Path) -> "Package":
+        root = Path(root)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ManifestError(f"no {MANIFEST_NAME} in {root}")
+        try:
+            data = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"manifest is not valid JSON: {exc}") from exc
+        manifest = Manifest.from_json(data)
+        if manifest.format_version != FORMAT_VERSION:
+            raise ManifestError(
+                f"unsupported package format {manifest.format_version}")
+        return cls(root, manifest)
+
+    # -- content access -----------------------------------------------------------
+
+    def write_text(self, relative: str, text: str) -> int:
+        path = self.root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return len(text.encode())
+
+    def write_trace(self, trace_json: dict[str, Any]) -> int:
+        """Write the serialized execution trace, gzip-compressed.
+
+        Traces record one entity per produced result tuple, so they
+        compress extremely well; shipping them raw would let trace
+        metadata dominate the package for result-heavy workloads.
+        """
+        import gzip
+        import json as json_module
+
+        payload = gzip.compress(json_module.dumps(
+            trace_json, separators=(",", ":")).encode())
+        path = self.root / TRACE_NAME
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(payload)
+        return len(payload)
+
+    def read_trace(self) -> dict[str, Any]:
+        """Load the serialized execution trace."""
+        import gzip
+        import json as json_module
+
+        path = self.root / TRACE_NAME
+        if not path.exists():
+            raise PackageError("package has no execution trace")
+        return json_module.loads(gzip.decompress(path.read_bytes()))
+
+    def read_text(self, relative: str) -> str:
+        path = self.root / relative
+        if not path.exists():
+            raise PackageError(f"package has no {relative}")
+        return path.read_text()
+
+    def has(self, relative: str) -> bool:
+        return (self.root / relative).exists()
+
+    def file_path(self, virtual_path: str) -> Path:
+        """Host location of a packaged virtual-FS file."""
+        return self.root / FILES_DIR / virtual_path.lstrip("/")
+
+    def restore_tables(self) -> list[str]:
+        """Table names that have a restore CSV."""
+        restore = self.root / RESTORE_DIR
+        if not restore.is_dir():
+            return []
+        return sorted(path.stem for path in restore.glob("*.csv"))
+
+    # -- archiving --------------------------------------------------------------------
+
+    def archive(self, archive_path: str | Path) -> Path:
+        """Bundle the package directory into a ``.tar.gz`` — the form
+        a researcher actually mails around. Returns the archive path.
+        Runtime scratch state (``.runtime``/``.scratch*``) is left
+        out: replay regenerates it."""
+        import tarfile
+
+        archive_path = Path(archive_path)
+        archive_path.parent.mkdir(parents=True, exist_ok=True)
+
+        def keep(tarinfo):
+            parts = Path(tarinfo.name).parts
+            if any(part.startswith((".runtime", ".scratch"))
+                   for part in parts):
+                return None
+            return tarinfo
+
+        with tarfile.open(archive_path, "w:gz") as archive:
+            archive.add(self.root, arcname=".", filter=keep)
+        return archive_path
+
+    @classmethod
+    def from_archive(cls, archive_path: str | Path,
+                     extract_to: str | Path) -> "Package":
+        """Unpack an archived package and load it."""
+        import tarfile
+
+        extract_to = Path(extract_to)
+        if extract_to.exists() and any(extract_to.iterdir()):
+            raise PackageError(
+                f"extraction target {extract_to} is not empty")
+        extract_to.mkdir(parents=True, exist_ok=True)
+        try:
+            with tarfile.open(archive_path, "r:gz") as archive:
+                archive.extractall(extract_to, filter="data")
+        except (OSError, tarfile.TarError) as exc:
+            raise PackageError(
+                f"cannot unpack {archive_path}: {exc}") from exc
+        return cls.load(extract_to)
+
+    # -- measurement ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Total package size in bytes (what Figure 9 plots)."""
+        return sum(path.stat().st_size
+                   for path in self.root.rglob("*") if path.is_file())
+
+    def breakdown(self) -> dict[str, int]:
+        """Bytes per top-level component."""
+        sizes: dict[str, int] = {}
+        for path in self.root.rglob("*"):
+            if not path.is_file():
+                continue
+            relative = path.relative_to(self.root)
+            top = relative.parts[0]
+            if top == DB_DIR.split("/")[0] and len(relative.parts) > 1:
+                top = f"{relative.parts[0]}/{relative.parts[1]}"
+            sizes[top] = sizes.get(top, 0) + path.stat().st_size
+        return sizes
+
+    def contents_summary(self) -> dict[str, bool]:
+        """The Table III checklist for this package."""
+        data_dir = self.root / DATA_DIR
+        data_files = [path for path in data_dir.rglob("*")
+                      if path.is_file() and path.name != ".keep"] \
+            if data_dir.is_dir() else []
+        return {
+            "software_binaries": (self.root / FILES_DIR).is_dir(),
+            "db_server": (self.root / SERVER_DIR).is_dir(),
+            "full_data_files": bool(data_files),
+            "empty_data_dir": data_dir.is_dir() and not data_files,
+            "db_provenance": (self.has(SCHEMA_FILE)
+                              and bool(self.restore_tables()))
+            or self.has(REPLAY_LOG),
+        }

@@ -1,0 +1,46 @@
+"""Trace-based relevant-tuple computation (Section VII-D).
+
+"A tuple version is relevant to the application if it is not created by
+the application itself (no incoming edge in the execution trace) and
+the state of an activity in the execution trace depends on it."
+
+The streaming collector in :mod:`repro.monitor.dbmonitor` implements
+the same rule incrementally during audit (that is what the benchmarks
+exercise); this module is the declarative, trace-only version used to
+validate the collector and to support post-hoc packaging of a stored
+trace.
+"""
+
+from __future__ import annotations
+
+from repro.db.provtypes import TupleRef
+from repro.provenance.inference import DependencyInference
+from repro.provenance.lineage import TUPLE, is_returned_edge, tuple_ref_of
+from repro.provenance.trace import ExecutionTrace
+
+
+def relevant_tuple_versions(trace: ExecutionTrace) -> set[TupleRef]:
+    """The tuple versions a server-included package must ship."""
+    inference = DependencyInference(trace)
+    needed: set[str] = set()
+    for activity in trace.activities():
+        for node_id in inference.dependencies_of(activity.node_id):
+            needed.add(node_id)
+    relevant: set[TupleRef] = set()
+    for entity in trace.entities(TUPLE):
+        node_id = entity.node_id
+        if node_id not in needed:
+            continue
+        if _created_by_application(trace, node_id):
+            continue
+        ref = tuple_ref_of(node_id)
+        if ref.table.startswith("_result"):
+            continue  # synthetic query-result entities are not stored
+        relevant.add(ref)
+    return relevant
+
+
+def _created_by_application(trace: ExecutionTrace, node_id: str) -> bool:
+    """True if some monitored statement produced this tuple version."""
+    return any(is_returned_edge(edge.label)
+               for edge in trace.in_edges(node_id))

@@ -1,0 +1,84 @@
+"""Schema catalog: the set of tables known to a database instance."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.db.storage import DataDirectory, HeapTable
+from repro.db.types import Schema
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """Name → table mapping with optional data-directory backing."""
+
+    def __init__(self, data_directory: DataDirectory | None = None) -> None:
+        self._tables: dict[str, HeapTable] = {}
+        self.data_directory = data_directory
+        if data_directory is not None:
+            for name in data_directory.table_names():
+                self._tables[name] = data_directory.load_table(name)
+
+    def create_table(self, name: str, schema: Schema,
+                     if_not_exists: bool = False) -> HeapTable:
+        key = name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise CatalogError(f"table {name!r} already exists")
+        table = HeapTable(key, schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+        if self.data_directory is not None:
+            self.data_directory.drop_table(key)
+
+    def get_table(self, name: str) -> HeapTable:
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise CatalogError(f"table {name!r} does not exist")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def table_of_index(self, index_name: str) -> HeapTable:
+        """Find the table holding a (globally unique) index name."""
+        wanted = index_name.lower()
+        for table in self._tables.values():
+            if wanted in table.indexes:
+                return table
+        raise CatalogError(f"index {index_name!r} does not exist")
+
+    def has_index(self, index_name: str) -> bool:
+        wanted = index_name.lower()
+        return any(wanted in table.indexes
+                   for table in self._tables.values())
+
+    def __iter__(self) -> Iterator[HeapTable]:
+        for name in sorted(self._tables):
+            yield self._tables[name]
+
+    # -- persistence -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write every table to the data directory (checkpoint)."""
+        if self.data_directory is None:
+            return
+        for table in self._tables.values():
+            self.data_directory.save_table(table)
+
+    def flush_table(self, name: str) -> None:
+        if self.data_directory is None:
+            return
+        self.data_directory.save_table(self.get_table(name))

@@ -1,0 +1,163 @@
+"""The client library ("libpq") with interposition hooks.
+
+:class:`DBClient` is the only way applications in this reproduction talk
+to a database server, exactly as libpq is for PostgreSQL clients. LDV
+instruments this layer (paper Section VII-C): an :class:`Interceptor`
+registered on a client sees every connect, every statement before it is
+sent, and every result after it returns — and may *substitute* a result
+without contacting the server at all, which is how server-excluded
+replay works (Section VIII).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.db import protocol
+from repro.db.engine import StatementResult
+from repro.errors import ConnectionClosedError, DatabaseError, ProtocolError
+from repro import errors as errors_module
+
+Transport = Callable[[str], str]
+
+
+class Interceptor:
+    """Base class for client-side interposition.
+
+    Subclass and override any subset of the hooks. ``before_execute``
+    may return a :class:`StatementResult` to short-circuit the server
+    round trip (replay), or ``None`` to let the call proceed.
+    """
+
+    def on_connect(self, client: "DBClient") -> None:
+        """Called after a connection is established."""
+
+    def before_execute(self, client: "DBClient", sql: str,
+                       provenance: bool) -> Optional[StatementResult]:
+        """Called before a statement is sent; may substitute the result."""
+        return None
+
+    def after_execute(self, client: "DBClient", sql: str,
+                      provenance: bool, result: StatementResult) -> None:
+        """Called after a result arrives (or was substituted)."""
+
+    def on_close(self, client: "DBClient") -> None:
+        """Called when the connection closes."""
+
+
+def _raise_from_error_frame(frame: dict[str, Any]) -> None:
+    """Re-raise a server-side error as the matching local exception."""
+    error_type = frame.get("error_type", "DatabaseError")
+    message = frame.get("message", "unknown server error")
+    exception_class = getattr(errors_module, error_type, None)
+    if exception_class is None or not (
+            isinstance(exception_class, type)
+            and issubclass(exception_class, Exception)):
+        exception_class = DatabaseError
+    raise exception_class(message)
+
+
+class DBClient:
+    """A connection-oriented database client.
+
+    >>> server = DBServer()                                # doctest: +SKIP
+    >>> client = DBClient(server.transport(), "app", "p1") # doctest: +SKIP
+    >>> client.connect()                                   # doctest: +SKIP
+    >>> client.execute("SELECT 1").rows                    # doctest: +SKIP
+    [(1,)]
+    """
+
+    def __init__(self, transport: Transport, client_name: str = "client",
+                 process_id: str = "0") -> None:
+        self.transport = transport
+        self.client_name = client_name
+        self.process_id = process_id
+        self.connection_id: Optional[int] = None
+        self.interceptors: list[Interceptor] = []
+        self.statements_sent = 0
+
+    # -- interposition -----------------------------------------------------------
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        self.interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        self.interceptors.remove(interceptor)
+
+    # -- connection lifecycle ------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self.connection_id is not None
+
+    def connect(self) -> None:
+        if self.connected:
+            raise ProtocolError("client is already connected")
+        response = self._round_trip(
+            protocol.connect_frame(self.client_name, self.process_id))
+        if response.get("frame") != "connected":
+            raise ProtocolError(
+                f"unexpected connect response {response.get('frame')!r}")
+        self.connection_id = int(response["connection_id"])
+        for interceptor in self.interceptors:
+            interceptor.on_connect(self)
+
+    def close(self) -> None:
+        if not self.connected:
+            return
+        try:
+            self._round_trip(protocol.close_frame(self.connection_id))
+        finally:
+            self.connection_id = None
+            for interceptor in self.interceptors:
+                interceptor.on_close(self)
+
+    def __enter__(self) -> "DBClient":
+        if not self.connected:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- statement execution ----------------------------------------------------------
+
+    def execute(self, sql: str, provenance: bool = False) -> StatementResult:
+        """Send one statement and return its result.
+
+        Interceptors run in registration order; the first one that
+        substitutes a result wins and the server is never contacted.
+        """
+        if not self.connected:
+            raise ConnectionClosedError("client is not connected")
+        substituted: Optional[StatementResult] = None
+        for interceptor in self.interceptors:
+            substituted = interceptor.before_execute(self, sql, provenance)
+            if substituted is not None:
+                break
+        if substituted is not None:
+            result = substituted
+        else:
+            response = self._round_trip(
+                protocol.query_frame(self.connection_id, sql, provenance))
+            if response.get("frame") == "error":
+                _raise_from_error_frame(response)
+            result = protocol.result_from_wire(response)
+        self.statements_sent += 1
+        for interceptor in self.interceptors:
+            interceptor.after_execute(self, sql, provenance, result)
+        return result
+
+    def query(self, sql: str) -> list[tuple]:
+        """Shorthand: run a SELECT and return its rows."""
+        return self.execute(sql).rows
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    def _round_trip(self, frame: dict[str, Any]) -> dict[str, Any]:
+        request_text = protocol.encode_frame(frame)
+        response_text = self.transport(request_text)
+        response = protocol.decode_frame(response_text)
+        if response.get("frame") == "error" and frame.get("frame") != "query":
+            _raise_from_error_frame(response)
+        return response

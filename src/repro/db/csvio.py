@@ -1,0 +1,90 @@
+"""CSV import/export of typed row sets.
+
+Used by three consumers:
+
+* ``COPY table FROM/TO`` in the engine,
+* the LDV packager, which writes the *relevant tuple versions* of each
+  table into ``db/restore/<table>.csv`` (server-included packages) and
+  recorded query results into ``replay/results/`` (server-excluded),
+* the replayer, which bulk-loads those files back.
+
+NULL is encoded as the empty string; TEXT cells are always quoted by
+the csv module when needed, so an empty *quoted* string would be
+ambiguous — the engine never stores the empty string as distinct from
+NULL in these files, a documented limitation shared with PostgreSQL's
+default text COPY format.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Iterable, Iterator
+
+from repro.db.types import Schema, value_from_csv, value_to_csv
+from repro.errors import ExecutionError
+
+
+def format_rows(rows: Iterable[tuple], schema: Schema,
+                header: bool = False, delimiter: str = ",") -> str:
+    """Render rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    if header:
+        writer.writerow(schema.column_names())
+    for row in rows:
+        writer.writerow([value_to_csv(value) for value in row])
+    return buffer.getvalue()
+
+
+def parse_rows(text: str, schema: Schema,
+               header: bool = False, delimiter: str = ",") -> list[tuple]:
+    """Parse CSV text into typed rows for ``schema``."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    types = schema.types()
+    rows: list[tuple] = []
+    first = True
+    for cells in reader:
+        if not cells:
+            continue
+        if first and header:
+            first = False
+            continue
+        first = False
+        if len(cells) != len(types):
+            raise ExecutionError(
+                f"CSV row has {len(cells)} cells, schema expects {len(types)}")
+        rows.append(tuple(value_from_csv(cell, sql_type)
+                          for cell, sql_type in zip(cells, types)))
+    return rows
+
+
+def format_versioned_rows(rows: Iterable[tuple[int, int, tuple]],
+                          schema: Schema) -> str:
+    """Render ``(rowid, version, values)`` triples — the package restore
+    format, which must preserve storage identity across replay."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    for rowid, version, values in rows:
+        cells = [str(rowid), str(version)]
+        cells.extend(value_to_csv(value) for value in values)
+        writer.writerow(cells)
+    return buffer.getvalue()
+
+
+def parse_versioned_rows(text: str,
+                         schema: Schema) -> Iterator[tuple[int, int, tuple]]:
+    """Parse the package restore format back into triples."""
+    types = schema.types()
+    for cells in csv.reader(io.StringIO(text)):
+        if not cells:
+            continue
+        if len(cells) != len(types) + 2:
+            raise ExecutionError(
+                f"restore row has {len(cells)} cells, expected "
+                f"{len(types) + 2}")
+        rowid = int(cells[0])
+        version = int(cells[1])
+        values = tuple(value_from_csv(cell, sql_type)
+                       for cell, sql_type in zip(cells[2:], types))
+        yield rowid, version, values

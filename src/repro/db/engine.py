@@ -1,0 +1,471 @@
+"""The Database façade: parse → plan → execute.
+
+:class:`Database` owns a :class:`Catalog`, an optional on-disk data
+directory, and a :class:`LogicalClock` used to stamp tuple versions.
+``execute`` runs one statement and returns a :class:`StatementResult`
+that carries, besides rows, the full write provenance of DML:
+
+* ``written`` — the tuple versions the statement created,
+* ``written_lineage`` — for each written version, the set of tuple
+  versions it was derived from (the *old* version for UPDATE, the
+  source-query lineage for INSERT ... SELECT),
+* ``deleted`` — the tuple versions removed by DELETE.
+
+Query lineage (Perm's Lineage) is produced when the statement is
+``SELECT PROVENANCE ...`` or when ``provenance=True`` is passed.
+
+Transactions use an undo log: BEGIN starts recording inverse
+operations; ROLLBACK replays them in reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+from repro.clockwork import LogicalClock
+from repro.db import csvio
+from repro.db.catalog import Catalog
+from repro.db.executor import MaterializedSource
+from repro.db.expressions import Evaluator
+from repro.db.planner import PlannedQuery, plan_select
+from repro.db.provtypes import EMPTY_LINEAGE, TupleRef
+from repro.db.sql import ast
+from repro.db.sql.parser import parse_sql
+from repro.db.subquery import expand_statement
+from repro.db.storage import DataDirectory, HeapTable
+from repro.db.types import Column, Schema, SQLType
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    SQLSyntaxError,
+    TransactionError,
+)
+
+
+@dataclass
+class StatementResult:
+    """The outcome of executing one SQL statement."""
+
+    kind: str  # select | insert | update | delete | create | drop | copy | txn
+    schema: Schema = field(default_factory=lambda: Schema([]))
+    rows: list[tuple] = field(default_factory=list)
+    lineages: list[frozenset] = field(default_factory=list)
+    rowcount: int = 0
+    written: list[TupleRef] = field(default_factory=list)
+    written_lineage: dict[TupleRef, frozenset] = field(default_factory=dict)
+    deleted: list[TupleRef] = field(default_factory=list)
+    source_tables: list[str] = field(default_factory=list)
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.schema.column_names()
+
+
+class _UndoLog:
+    """Inverse operations recorded during an open transaction."""
+
+    def __init__(self) -> None:
+        self.entries: list[tuple] = []
+
+    def record_insert(self, table: str, rowid: int) -> None:
+        self.entries.append(("insert", table, rowid))
+
+    def record_update(self, table: str, rowid: int,
+                      old_values: tuple, old_version: int) -> None:
+        self.entries.append(("update", table, rowid, old_values, old_version))
+
+    def record_delete(self, table: str, rowid: int,
+                      old_values: tuple, old_version: int) -> None:
+        self.entries.append(("delete", table, rowid, old_values, old_version))
+
+
+class Database:
+    """An embedded database instance.
+
+    >>> db = Database()
+    >>> _ = db.execute("CREATE TABLE t (id integer, name text)")
+    >>> _ = db.execute("INSERT INTO t VALUES (1, 'a')")
+    >>> db.query("SELECT name FROM t WHERE id = 1")
+    [('a',)]
+    """
+
+    def __init__(self, data_directory: str | Path | None = None,
+                 clock: LogicalClock | None = None,
+                 autoflush: bool = False) -> None:
+        directory = (DataDirectory(data_directory)
+                     if data_directory is not None else None)
+        self.catalog = Catalog(directory)
+        self.clock = clock if clock is not None else LogicalClock()
+        self.autoflush = autoflush
+        self._undo: Optional[_UndoLog] = None
+        # file access hooks so a virtual OS can interpose COPY I/O
+        self.read_file: Callable[[str], str] = (
+            lambda path: Path(path).read_text())
+        self.write_file: Callable[[str, str], None] = (
+            lambda path, text: Path(path).write_text(text))
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(self, sql: str, provenance: bool = False) -> StatementResult:
+        """Execute exactly one SQL statement."""
+        statements = parse_sql(sql)
+        if len(statements) != 1:
+            raise SQLSyntaxError(
+                f"execute() expects one statement, got {len(statements)}")
+        return self.execute_statement(statements[0], provenance)
+
+    def execute_script(self, sql: str) -> list[StatementResult]:
+        """Execute a multi-statement script, returning all results."""
+        return [self.execute_statement(statement, False)
+                for statement in parse_sql(sql)]
+
+    def query(self, sql: str) -> list[tuple]:
+        """Shorthand: run a SELECT and return the rows."""
+        result = self.execute(sql)
+        if result.kind != "select":
+            raise ExecutionError("query() requires a SELECT statement")
+        return result.rows
+
+    def execute_statement(self, statement: ast.Statement,
+                          provenance: bool = False) -> StatementResult:
+        extra_lineage: frozenset = EMPTY_LINEAGE
+        if isinstance(statement, (ast.Select, ast.SetOp, ast.Update,
+                                  ast.Delete, ast.Insert)):
+            # DML always records write provenance, so its subqueries
+            # must track lineage too; queries only when asked
+            track = (provenance
+                     or bool(getattr(statement, "provenance", False))
+                     or isinstance(statement, (ast.Update, ast.Delete,
+                                               ast.Insert)))
+            statement, extra_lineage = expand_statement(
+                statement, self._run_subquery, track)
+        result = self._dispatch_statement(statement, provenance)
+        if extra_lineage:
+            result.lineages = [lineage | extra_lineage
+                               for lineage in result.lineages]
+            result.written_lineage = {
+                ref: deps | extra_lineage
+                for ref, deps in result.written_lineage.items()}
+        return result
+
+    def _run_subquery(self, select: ast.Select, track_lineage: bool):
+        result = self._execute_select(select, track_lineage)
+        return result.rows, result.lineages
+
+    def _dispatch_statement(self, statement: ast.Statement,
+                            provenance: bool) -> StatementResult:
+        if isinstance(statement, ast.Select):
+            return self._execute_select(
+                statement, provenance or statement.provenance)
+        if isinstance(statement, ast.SetOp):
+            return self._execute_setop(statement, provenance)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, provenance)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create(statement)
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.table, statement.if_exists)
+            return StatementResult(kind="drop")
+        if isinstance(statement, ast.CreateIndex):
+            return self._execute_create_index(statement)
+        if isinstance(statement, ast.DropIndex):
+            return self._execute_drop_index(statement)
+        if isinstance(statement, ast.CopyFrom):
+            return self._execute_copy_from(statement)
+        if isinstance(statement, ast.CopyTo):
+            return self._execute_copy_to(statement)
+        if isinstance(statement, ast.Explain):
+            return self._execute_explain(statement)
+        if isinstance(statement, ast.Begin):
+            return self._execute_begin()
+        if isinstance(statement, ast.Commit):
+            return self._execute_commit()
+        if isinstance(statement, ast.Rollback):
+            return self._execute_rollback()
+        raise ExecutionError(
+            f"unsupported statement type {type(statement).__name__}")
+
+    def checkpoint(self) -> None:
+        """Flush all tables to the data directory."""
+        self.catalog.flush()
+
+    def close(self) -> None:
+        """Checkpoint and release (no open handles are held otherwise)."""
+        self.checkpoint()
+
+    # -- SELECT --------------------------------------------------------------------
+
+    def _execute_select(self, select: ast.Select,
+                        track_lineage: bool) -> StatementResult:
+        planned = plan_select(select, self.catalog, track_lineage)
+        rows: list[tuple] = []
+        lineages: list[frozenset] = []
+        for values, lineage in planned.root:
+            rows.append(values)
+            lineages.append(lineage)
+        return StatementResult(
+            kind="select", schema=planned.schema, rows=rows,
+            lineages=lineages, rowcount=len(rows),
+            source_tables=planned.source_tables)
+
+    def _execute_setop(self, setop: ast.SetOp,
+                       track_lineage: bool) -> StatementResult:
+        from repro.db.planner import plan_setop
+
+        planned = plan_setop(setop, self.catalog, track_lineage)
+        rows: list[tuple] = []
+        lineages: list[frozenset] = []
+        for values, lineage in planned.root:
+            rows.append(values)
+            lineages.append(lineage)
+        return StatementResult(
+            kind="select", schema=planned.schema, rows=rows,
+            lineages=lineages, rowcount=len(rows),
+            source_tables=planned.source_tables)
+
+    def _execute_explain(self, explain: ast.Explain) -> StatementResult:
+        from repro.db.planner import explain_plan
+
+        planned = plan_select(explain.query, self.catalog, False)
+        lines = explain_plan(planned.root)
+        return StatementResult(
+            kind="explain",
+            schema=Schema([Column("plan", SQLType.TEXT)]),
+            rows=[(line,) for line in lines],
+            lineages=[EMPTY_LINEAGE] * len(lines),
+            rowcount=len(lines),
+            source_tables=planned.source_tables)
+
+    # -- INSERT --------------------------------------------------------------------
+
+    def _execute_insert(self, insert: ast.Insert,
+                        provenance: bool) -> StatementResult:
+        table = self.catalog.get_table(insert.table)
+        result = StatementResult(kind="insert")
+        if insert.query is not None:
+            planned = plan_select(insert.query, self.catalog, provenance)
+            source_rows = [(values, lineage)
+                           for values, lineage in planned.root]
+            result.source_tables = planned.source_tables
+        else:
+            evaluator = Evaluator(Schema([]))
+            source_rows = []
+            for expression_row in insert.rows:
+                values = tuple(evaluator.evaluate(expression, ())
+                               for expression in expression_row)
+                source_rows.append((values, EMPTY_LINEAGE))
+        positions = self._column_positions(table, insert.columns)
+        tick = self.clock.tick()
+        for values, lineage in source_rows:
+            full_values = self._spread_values(table, positions, values)
+            rowid = table.insert(full_values, tick)
+            if self._undo is not None:
+                self._undo.record_insert(table.name, rowid)
+            ref = TupleRef(table.name, rowid, tick)
+            result.written.append(ref)
+            result.written_lineage[ref] = lineage
+        result.rowcount = len(source_rows)
+        if self.autoflush:
+            self.catalog.flush_table(table.name)
+        return result
+
+    def _column_positions(self, table: HeapTable,
+                          columns: tuple[str, ...]) -> list[int] | None:
+        if not columns:
+            return None
+        return [table.schema.index_of(name) for name in columns]
+
+    def _spread_values(self, table: HeapTable,
+                       positions: list[int] | None,
+                       values: tuple) -> tuple:
+        if positions is None:
+            if len(values) != len(table.schema):
+                raise ExecutionError(
+                    f"INSERT has {len(values)} values for "
+                    f"{len(table.schema)} columns")
+            return values
+        if len(values) != len(positions):
+            raise ExecutionError("INSERT column/value count mismatch")
+        full: list[Any] = [None] * len(table.schema)
+        for position, value in zip(positions, values):
+            full[position] = value
+        return tuple(full)
+
+    # -- UPDATE / DELETE --------------------------------------------------------------
+
+    def _matching_rows(self, table: HeapTable,
+                       where: Optional[ast.Expression]) -> list[tuple[int, tuple]]:
+        evaluator = Evaluator(table.schema.qualified(table.name))
+        matched = []
+        for rowid, values in table.scan():
+            if where is None or evaluator.matches(where, values):
+                matched.append((rowid, values))
+        return matched
+
+    def _execute_update(self, update: ast.Update) -> StatementResult:
+        table = self.catalog.get_table(update.table)
+        evaluator = Evaluator(table.schema.qualified(table.name))
+        assignment_positions = [
+            (table.schema.index_of(name), expression)
+            for name, expression in update.assignments]
+        matched = self._matching_rows(table, update.where)
+        result = StatementResult(kind="update",
+                                 source_tables=[table.name])
+        if not matched:
+            return result
+        tick = self.clock.tick()
+        for rowid, old_values in matched:
+            old_version = table.version_of(rowid)
+            new_values = list(old_values)
+            for position, expression in assignment_positions:
+                new_values[position] = evaluator.evaluate(
+                    expression, old_values)
+            table.update(rowid, tuple(new_values), tick)
+            if self._undo is not None:
+                self._undo.record_update(
+                    table.name, rowid, old_values, old_version)
+            old_ref = TupleRef(table.name, rowid, old_version)
+            new_ref = TupleRef(table.name, rowid, tick)
+            result.written.append(new_ref)
+            result.written_lineage[new_ref] = frozenset((old_ref,))
+        result.rowcount = len(matched)
+        if self.autoflush:
+            self.catalog.flush_table(table.name)
+        return result
+
+    def _execute_delete(self, delete: ast.Delete) -> StatementResult:
+        table = self.catalog.get_table(delete.table)
+        matched = self._matching_rows(table, delete.where)
+        result = StatementResult(kind="delete",
+                                 source_tables=[table.name])
+        for rowid, old_values in matched:
+            old_version = table.version_of(rowid)
+            table.delete(rowid)
+            if self._undo is not None:
+                self._undo.record_delete(
+                    table.name, rowid, old_values, old_version)
+            result.deleted.append(TupleRef(table.name, rowid, old_version))
+        result.rowcount = len(matched)
+        if self.autoflush:
+            self.catalog.flush_table(table.name)
+        return result
+
+    # -- DDL / COPY --------------------------------------------------------------------
+
+    def _execute_create(self, create: ast.CreateTable) -> StatementResult:
+        columns = [
+            Column(
+                name=definition.name.lower(),
+                sql_type=SQLType.from_name(definition.type_name),
+                not_null=definition.not_null or definition.primary_key,
+                primary_key=definition.primary_key,
+            )
+            for definition in create.columns
+        ]
+        self.catalog.create_table(
+            create.table, Schema(columns), create.if_not_exists)
+        if self.autoflush:
+            self.catalog.flush_table(create.table)
+        return StatementResult(kind="create")
+
+    def _execute_create_index(self,
+                              create: ast.CreateIndex) -> StatementResult:
+        if self.catalog.has_index(create.name):
+            if create.if_not_exists:
+                return StatementResult(kind="create")
+            raise CatalogError(f"index {create.name!r} already exists")
+        table = self.catalog.get_table(create.table)
+        table.create_index(create.name, create.column,
+                           create.if_not_exists)
+        if self.autoflush:
+            self.catalog.flush_table(table.name)
+        return StatementResult(kind="create",
+                               source_tables=[table.name])
+
+    def _execute_drop_index(self, drop: ast.DropIndex) -> StatementResult:
+        if not self.catalog.has_index(drop.name):
+            if drop.if_exists:
+                return StatementResult(kind="drop")
+            raise CatalogError(f"index {drop.name!r} does not exist")
+        table = self.catalog.table_of_index(drop.name)
+        table.drop_index(drop.name)
+        if self.autoflush:
+            self.catalog.flush_table(table.name)
+        return StatementResult(kind="drop", source_tables=[table.name])
+
+    def _execute_copy_from(self, copy: ast.CopyFrom) -> StatementResult:
+        table = self.catalog.get_table(copy.table)
+        text = self.read_file(copy.path)
+        rows = csvio.parse_rows(text, table.schema,
+                                header=copy.header,
+                                delimiter=copy.delimiter)
+        tick = self.clock.tick()
+        result = StatementResult(kind="copy", source_tables=[table.name])
+        for values in rows:
+            rowid = table.insert(values, tick)
+            if self._undo is not None:
+                self._undo.record_insert(table.name, rowid)
+            result.written.append(TupleRef(table.name, rowid, tick))
+        result.rowcount = len(result.written)
+        if self.autoflush:
+            self.catalog.flush_table(table.name)
+        return result
+
+    def _execute_copy_to(self, copy: ast.CopyTo) -> StatementResult:
+        table = self.catalog.get_table(copy.table)
+        text = csvio.format_rows(
+            (values for _rowid, values in table.scan()),
+            table.schema, header=copy.header, delimiter=copy.delimiter)
+        self.write_file(copy.path, text)
+        return StatementResult(kind="copy", rowcount=table.row_count,
+                               source_tables=[table.name])
+
+    # -- transactions --------------------------------------------------------------------
+
+    def _execute_begin(self) -> StatementResult:
+        if self._undo is not None:
+            raise TransactionError("transaction already in progress")
+        self._undo = _UndoLog()
+        return StatementResult(kind="txn")
+
+    def _execute_commit(self) -> StatementResult:
+        if self._undo is None:
+            raise TransactionError("no transaction in progress")
+        self._undo = None
+        if self.autoflush:
+            self.catalog.flush()
+        return StatementResult(kind="txn")
+
+    def _execute_rollback(self) -> StatementResult:
+        if self._undo is None:
+            raise TransactionError("no transaction in progress")
+        undo = self._undo
+        self._undo = None  # undo operations must not re-record
+        for entry in reversed(undo.entries):
+            operation = entry[0]
+            table = self.catalog.get_table(entry[1])
+            if operation == "insert":
+                table.delete(entry[2])
+            elif operation == "update":
+                _, _, rowid, old_values, old_version = entry
+                table.update(rowid, old_values, old_version)
+                table.versions[rowid] = old_version
+            elif operation == "delete":
+                _, _, rowid, old_values, old_version = entry
+                restored = table.insert(old_values, old_version)
+                # restore original rowid identity
+                if restored != rowid:
+                    values = table.rows.pop(restored)
+                    version = table.versions.pop(restored)
+                    table.rows[rowid] = values
+                    table.versions[rowid] = version
+                    if table._pk_positions:
+                        key = tuple(values[i] for i in table._pk_positions)
+                        table._pk_index[key] = rowid
+        return StatementResult(kind="txn")

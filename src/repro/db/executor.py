@@ -1,0 +1,459 @@
+"""Pull-based query operators with optional lineage propagation.
+
+Every operator is an iterator over ``(values, lineage)`` pairs where
+``values`` is a plain tuple and ``lineage`` is a
+``frozenset[TupleRef]`` (empty when lineage tracking is disabled, so
+downstream code never needs a None check).
+
+Lineage propagation implements the paper's Lineage semantics (the
+set-of-contributing-input-tuples abstraction of the semiring framework,
+Section VI-A):
+
+* a scan annotates each row with the singleton set of its own reference,
+* filters and projections preserve annotations,
+* a join result row carries the union of both sides,
+* an aggregate output row carries the union over its whole group,
+* ``DISTINCT`` merges the lineages of collapsed duplicates.
+
+This is observationally equivalent to Perm's query rewriting for the
+query classes used in the paper (selection, projection, join,
+aggregation) — see DESIGN.md section 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.db import expressions as exprs
+from repro.db.provtypes import EMPTY_LINEAGE, TupleRef
+from repro.db.sql import ast
+from repro.db.storage import HeapTable
+from repro.db.types import Schema
+from repro.errors import ExecutionError
+
+# IndexScan appears before SeqScan in this module but needs Schema([])
+# for constant evaluation; both use the shared expression evaluator.
+
+Row = tuple
+Annotated = tuple[Row, frozenset]
+
+
+class Operator:
+    """Base class: an iterable of annotated rows with a fixed schema."""
+
+    schema: Schema
+
+    def __iter__(self) -> Iterator[Annotated]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SeqScan(Operator):
+    """Full scan of a heap table, optionally producing lineage."""
+
+    def __init__(self, table: HeapTable, qualifier: str,
+                 track_lineage: bool) -> None:
+        self.table = table
+        self.qualifier = qualifier
+        self.schema = table.schema.qualified(qualifier)
+        self.track_lineage = track_lineage
+
+    def __iter__(self) -> Iterator[Annotated]:
+        if self.track_lineage:
+            name = self.table.name
+            versions = self.table.versions
+            for rowid, values in self.table.scan():
+                yield values, frozenset((TupleRef(name, rowid, versions[rowid]),))
+        else:
+            for _rowid, values in self.table.scan():
+                yield values, EMPTY_LINEAGE
+
+
+class IndexScan(Operator):
+    """Equality lookup through a hash index.
+
+    ``value_expression`` is evaluated once against the empty row (it
+    must be constant — the planner guarantees this) and the matching
+    rowids are fetched directly.
+    """
+
+    def __init__(self, table: HeapTable, qualifier: str,
+                 index, value_expression: ast.Expression,
+                 track_lineage: bool) -> None:
+        self.table = table
+        self.schema = table.schema.qualified(qualifier)
+        self.index = index
+        self.value_expression = value_expression
+        self.track_lineage = track_lineage
+
+    def __iter__(self) -> Iterator[Annotated]:
+        value = exprs.Evaluator(Schema([])).evaluate(
+            self.value_expression, ())
+        name = self.table.name
+        versions = self.table.versions
+        for rowid in sorted(self.index.lookup(value)):
+            values = self.table.rows[rowid]
+            if self.track_lineage:
+                yield values, frozenset(
+                    (TupleRef(name, rowid, versions[rowid]),))
+            else:
+                yield values, EMPTY_LINEAGE
+
+
+class Filter(Operator):
+    """Keep rows for which the predicate evaluates to TRUE."""
+
+    def __init__(self, child: Operator, predicate: ast.Expression) -> None:
+        self.child = child
+        self.schema = child.schema
+        self.predicate = predicate
+        self._evaluator = exprs.Evaluator(child.schema)
+
+    def __iter__(self) -> Iterator[Annotated]:
+        matches = self._evaluator.matches
+        predicate = self.predicate
+        for values, lineage in self.child:
+            if matches(predicate, values):
+                yield values, lineage
+
+
+class Project(Operator):
+    """Evaluate a list of output expressions per input row."""
+
+    def __init__(self, child: Operator,
+                 output_expressions: list[ast.Expression],
+                 output_schema: Schema) -> None:
+        self.child = child
+        self.schema = output_schema
+        self.output_expressions = output_expressions
+        self._evaluator = exprs.Evaluator(child.schema)
+
+    def __iter__(self) -> Iterator[Annotated]:
+        evaluate = self._evaluator.evaluate
+        output_expressions = self.output_expressions
+        for values, lineage in self.child:
+            out = tuple(evaluate(expression, values)
+                        for expression in output_expressions)
+            yield out, lineage
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on the right side, probe with left.
+
+    ``kind`` is ``"inner"`` or ``"left"``. Join keys are expressions
+    evaluated against each side's schema. A residual predicate (the
+    non-equi part of an ON / WHERE conjunction) can be applied to the
+    concatenated row.
+    """
+
+    def __init__(self, left: Operator, right: Operator,
+                 left_keys: list[ast.Expression],
+                 right_keys: list[ast.Expression],
+                 kind: str = "inner",
+                 residual: ast.Expression | None = None) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ExecutionError("hash join requires matching key lists")
+        if kind not in ("inner", "left"):
+            raise ExecutionError(f"unsupported hash join kind {kind!r}")
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.kind = kind
+        self.residual = residual
+        self.schema = left.schema.concat(right.schema)
+        self._left_eval = exprs.Evaluator(left.schema)
+        self._right_eval = exprs.Evaluator(right.schema)
+        self._out_eval = exprs.Evaluator(self.schema)
+
+    def __iter__(self) -> Iterator[Annotated]:
+        build: dict[tuple, list[Annotated]] = {}
+        right_eval = self._right_eval.evaluate
+        for values, lineage in self.right:
+            key = tuple(right_eval(expression, values)
+                        for expression in self.right_keys)
+            if any(part is None for part in key):
+                continue  # NULL never equi-joins
+            build.setdefault(key, []).append((values, lineage))
+        left_eval = self._left_eval.evaluate
+        matches = self._out_eval.matches
+        residual = self.residual
+        right_width = len(self.right.schema)
+        null_pad = (None,) * right_width
+        for values, lineage in self.left:
+            key = tuple(left_eval(expression, values)
+                        for expression in self.left_keys)
+            produced = False
+            if not any(part is None for part in key):
+                for right_values, right_lineage in build.get(key, ()):
+                    joined = values + right_values
+                    if residual is not None and not matches(residual, joined):
+                        continue
+                    produced = True
+                    yield joined, lineage | right_lineage
+            if self.kind == "left" and not produced:
+                yield values + null_pad, lineage
+
+
+class NestedLoopJoin(Operator):
+    """General theta-join; materializes the right side once."""
+
+    def __init__(self, left: Operator, right: Operator,
+                 condition: ast.Expression | None = None,
+                 kind: str = "inner") -> None:
+        if kind not in ("inner", "left", "cross"):
+            raise ExecutionError(f"unsupported join kind {kind!r}")
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+        self.schema = left.schema.concat(right.schema)
+        self._evaluator = exprs.Evaluator(self.schema)
+
+    def __iter__(self) -> Iterator[Annotated]:
+        right_rows = list(self.right)
+        matches = self._evaluator.matches
+        condition = self.condition
+        right_width = len(self.right.schema)
+        null_pad = (None,) * right_width
+        for values, lineage in self.left:
+            produced = False
+            for right_values, right_lineage in right_rows:
+                joined = values + right_values
+                if condition is not None and not matches(condition, joined):
+                    continue
+                produced = True
+                yield joined, lineage | right_lineage
+            if self.kind == "left" and not produced:
+                yield values + null_pad, lineage
+
+
+class GroupAggregate(Operator):
+    """Hash aggregation fused with output projection.
+
+    ``group_expressions`` define the grouping key (empty for a global
+    aggregate); ``output_expressions`` may mix group expressions,
+    aggregate calls, and scalar expressions over them. ``having`` is
+    applied per group after accumulation.
+
+    The lineage of an output row is the union of the lineages of every
+    input row in its group — the Lineage semantics for aggregation.
+
+    For scalar sub-expressions that are neither aggregates nor group
+    expressions, evaluation falls back to the group's first input row
+    (safe for expressions functionally dependent on the group key,
+    which is all standard SQL allows anyway).
+    """
+
+    def __init__(self, child: Operator,
+                 group_expressions: list[ast.Expression],
+                 output_expressions: list[ast.Expression],
+                 output_schema: Schema,
+                 having: ast.Expression | None = None) -> None:
+        self.child = child
+        self.schema = output_schema
+        self.group_expressions = group_expressions
+        self.output_expressions = output_expressions
+        self.having = having
+        aggregate_calls: dict[ast.FunctionCall, None] = {}
+        for expression in list(output_expressions) + (
+                [having] if having is not None else []):
+            for call in exprs.find_aggregates(expression):
+                aggregate_calls[call] = None
+        self.aggregate_calls = list(aggregate_calls)
+        self._input_eval = exprs.Evaluator(child.schema)
+
+    def __iter__(self) -> Iterator[Annotated]:
+        evaluate = self._input_eval.evaluate
+        groups: dict[tuple, dict[str, Any]] = {}
+        order: list[tuple] = []
+        for values, lineage in self.child:
+            key = tuple(evaluate(expression, values)
+                        for expression in self.group_expressions)
+            state = groups.get(key)
+            if state is None:
+                state = {
+                    "accumulators": [exprs.make_accumulator(call)
+                                     for call in self.aggregate_calls],
+                    "representative": values,
+                    "lineage": set(),
+                }
+                groups[key] = state
+                order.append(key)
+            for call, accumulator in zip(self.aggregate_calls,
+                                         state["accumulators"]):
+                if len(call.args) == 1 and isinstance(call.args[0], ast.Star):
+                    accumulator.add(values)  # COUNT(*): every row counts
+                else:
+                    accumulator.add(evaluate(call.args[0], values))
+            state["lineage"].update(lineage)
+        if not groups and not self.group_expressions:
+            # global aggregate over empty input still yields one row
+            state = {
+                "accumulators": [exprs.make_accumulator(call)
+                                 for call in self.aggregate_calls],
+                "representative": None,
+                "lineage": set(),
+            }
+            groups[()] = state
+            order.append(())
+        for key in order:
+            state = groups[key]
+            bindings: dict[ast.Expression, Any] = {}
+            for call, accumulator in zip(self.aggregate_calls,
+                                         state["accumulators"]):
+                bindings[call] = accumulator.result()
+            for expression, value in zip(self.group_expressions, key):
+                bindings[expression] = value
+            out_eval = exprs.Evaluator(self.child.schema, bindings)
+            representative = state["representative"]
+            if representative is None:
+                representative = (None,) * len(self.child.schema)
+            if self.having is not None and not out_eval.matches(
+                    self.having, representative):
+                continue
+            out = tuple(out_eval.evaluate(expression, representative)
+                        for expression in self.output_expressions)
+            yield out, frozenset(state["lineage"])
+
+
+class Distinct(Operator):
+    """Collapse duplicate rows, merging their lineages.
+
+    ``key_width`` limits duplicate detection to a prefix of the row
+    (used when hidden ORDER BY columns were appended after the visible
+    select list).
+    """
+
+    def __init__(self, child: Operator, key_width: int | None = None) -> None:
+        self.child = child
+        self.schema = child.schema
+        self.key_width = key_width
+
+    def __iter__(self) -> Iterator[Annotated]:
+        seen: dict[tuple, list] = {}
+        order: list[tuple] = []
+        for values, lineage in self.child:
+            key = values if self.key_width is None else values[: self.key_width]
+            entry = seen.get(key)
+            if entry is None:
+                seen[key] = [values, set(lineage)]
+                order.append(key)
+            else:
+                entry[1].update(lineage)
+        for key in order:
+            values, lineage = seen[key]
+            yield values, frozenset(lineage)
+
+
+class _SortKey:
+    """Total order over SQL values where NULL sorts last (ASC)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        if self.value is None:
+            return False
+        if other.value is None:
+            return True
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _SortKey):
+            return NotImplemented
+        return self.value == other.value
+
+
+class Sort(Operator):
+    """Materializing sort on a list of (column index, descending) keys."""
+
+    def __init__(self, child: Operator,
+                 keys: list[tuple[int, bool]]) -> None:
+        self.child = child
+        self.schema = child.schema
+        self.keys = keys
+
+    def __iter__(self) -> Iterator[Annotated]:
+        rows = list(self.child)
+        # stable multi-key sort: apply keys from last to first
+        for index, descending in reversed(self.keys):
+            rows.sort(key=lambda item: _SortKey(item[0][index]),
+                      reverse=descending)
+        return iter(rows)
+
+
+class Limit(Operator):
+    """LIMIT / OFFSET."""
+
+    def __init__(self, child: Operator, limit: int | None,
+                 offset: int | None) -> None:
+        self.child = child
+        self.schema = child.schema
+        self.limit = limit
+        self.offset = offset or 0
+
+    def __iter__(self) -> Iterator[Annotated]:
+        skipped = 0
+        emitted = 0
+        for item in self.child:
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and emitted >= self.limit:
+                return
+            emitted += 1
+            yield item
+
+
+class StripColumns(Operator):
+    """Drop hidden trailing columns appended for ORDER BY evaluation."""
+
+    def __init__(self, child: Operator, visible_width: int,
+                 visible_schema: Schema) -> None:
+        self.child = child
+        self.visible_width = visible_width
+        self.schema = visible_schema
+
+    def __iter__(self) -> Iterator[Annotated]:
+        width = self.visible_width
+        for values, lineage in self.child:
+            yield values[:width], lineage
+
+
+class Union(Operator):
+    """Concatenate compatible inputs (UNION ALL); wrap in
+    :class:`Distinct` for set semantics.
+
+    Lineage semantics: UNION ALL passes annotations through; the
+    Distinct wrapper merges the lineages of collapsed duplicates, which
+    is exactly the Lineage of a set union.
+    """
+
+    def __init__(self, children: list[Operator]) -> None:
+        if not children:
+            raise ExecutionError("UNION requires at least one input")
+        width = len(children[0].schema)
+        for child in children[1:]:
+            if len(child.schema) != width:
+                raise ExecutionError(
+                    f"UNION inputs have {width} and "
+                    f"{len(child.schema)} columns")
+        self.children = children
+        self.schema = children[0].schema
+
+    def __iter__(self) -> Iterator[Annotated]:
+        for child in self.children:
+            yield from child
+
+
+class MaterializedSource(Operator):
+    """Serve pre-computed annotated rows (used by INSERT ... SELECT etc.)."""
+
+    def __init__(self, schema: Schema, rows: Iterable[Annotated]) -> None:
+        self.schema = schema
+        self.rows = list(rows)
+
+    def __iter__(self) -> Iterator[Annotated]:
+        return iter(self.rows)

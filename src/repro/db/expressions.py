@@ -1,0 +1,497 @@
+"""Expression evaluation with SQL three-valued logic.
+
+The central class is :class:`Evaluator`: bound to a :class:`Schema`, it
+compiles column references to row positions once and then evaluates an
+AST expression against rows. NULL (``None``) propagates through
+arithmetic and comparisons; ``AND``/``OR`` follow Kleene logic; filters
+treat an unknown result as false.
+
+Aggregate functions are *not* evaluated here — the aggregate operator in
+:mod:`repro.db.executor` drives :class:`Accumulator` objects created by
+:func:`make_accumulator` and evaluates the aggregate's argument
+expression per input row via an Evaluator.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Any, Callable, Iterator
+
+from repro.db.sql import ast
+from repro.db.types import Schema
+from repro.errors import ExecutionError
+
+AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+# ---------------------------------------------------------------------------
+# AST analysis helpers
+# ---------------------------------------------------------------------------
+
+
+def walk(expression: ast.Expression) -> Iterator[ast.Expression]:
+    """Yield ``expression`` and all sub-expressions, depth first."""
+    yield expression
+    if isinstance(expression, ast.UnaryOp):
+        yield from walk(expression.operand)
+    elif isinstance(expression, ast.BinaryOp):
+        yield from walk(expression.left)
+        yield from walk(expression.right)
+    elif isinstance(expression, ast.Between):
+        yield from walk(expression.operand)
+        yield from walk(expression.low)
+        yield from walk(expression.high)
+    elif isinstance(expression, ast.Like):
+        yield from walk(expression.operand)
+        yield from walk(expression.pattern)
+    elif isinstance(expression, ast.InList):
+        yield from walk(expression.operand)
+        for item in expression.items:
+            yield from walk(item)
+    elif isinstance(expression, ast.IsNull):
+        yield from walk(expression.operand)
+    elif isinstance(expression, ast.FunctionCall):
+        for arg in expression.args:
+            yield from walk(arg)
+    elif isinstance(expression, ast.CaseWhen):
+        for condition, value in expression.branches:
+            yield from walk(condition)
+            yield from walk(value)
+        if expression.otherwise is not None:
+            yield from walk(expression.otherwise)
+
+
+def find_aggregates(expression: ast.Expression) -> list[ast.FunctionCall]:
+    """Return all aggregate function calls inside ``expression``."""
+    return [node for node in walk(expression)
+            if isinstance(node, ast.FunctionCall)
+            and node.name in AGGREGATE_NAMES]
+
+
+def contains_aggregate(expression: ast.Expression) -> bool:
+    return bool(find_aggregates(expression))
+
+
+def columns_referenced(expression: ast.Expression) -> list[ast.ColumnRef]:
+    """All column references inside ``expression`` (with duplicates)."""
+    return [node for node in walk(expression)
+            if isinstance(node, ast.ColumnRef)]
+
+
+# ---------------------------------------------------------------------------
+# LIKE pattern matching
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=1024)
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile a SQL LIKE pattern (% and _) to an anchored regex."""
+    parts: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$", re.DOTALL)
+
+
+def sql_like(value: Any, pattern: Any) -> Any:
+    """Evaluate ``value LIKE pattern`` with NULL propagation."""
+    if value is None or pattern is None:
+        return None
+    return _like_regex(str(pattern)).match(str(value)) is not None
+
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _fn_coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _null_guard(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap a scalar function so any NULL argument yields NULL."""
+    def wrapped(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+    return wrapped
+
+
+def _fn_substr(value: str, start: int, length: int | None = None) -> str:
+    # SQL substr is 1-based; negative/overhang semantics follow PostgreSQL.
+    begin = max(start - 1, 0)
+    if length is None:
+        return str(value)[begin:]
+    if length < 0:
+        raise ExecutionError("negative substring length")
+    return str(value)[begin:begin + length]
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "upper": _null_guard(lambda v: str(v).upper()),
+    "lower": _null_guard(lambda v: str(v).lower()),
+    "length": _null_guard(lambda v: len(str(v))),
+    "abs": _null_guard(abs),
+    "round": _null_guard(lambda v, digits=0: round(float(v), int(digits))),
+    "floor": _null_guard(lambda v: int(float(v) // 1)),
+    "ceil": _null_guard(lambda v: -int(-float(v) // 1)),
+    "mod": _null_guard(lambda a, b: a % b),
+    "coalesce": _fn_coalesce,
+    "substr": _null_guard(_fn_substr),
+    "substring": _null_guard(_fn_substr),
+    "concat": lambda *args: "".join(str(a) for a in args if a is not None),
+}
+
+
+# ---------------------------------------------------------------------------
+# Aggregate accumulators
+# ---------------------------------------------------------------------------
+
+
+class Accumulator:
+    """Incremental aggregate state: feed values with :meth:`add`."""
+
+    def add(self, value: Any) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def result(self) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class _CountAll(Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class _Count(Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class _Sum(Accumulator):
+    def __init__(self) -> None:
+        self.total: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def result(self) -> Any:
+        return self.total
+
+
+class _Avg(Accumulator):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total += value
+        self.count += 1
+
+    def result(self) -> Any:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class _Min(Accumulator):
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value < self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _Max(Accumulator):
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value > self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _Distinct(Accumulator):
+    """Wrap another accumulator to only feed it distinct non-seen values."""
+
+    def __init__(self, inner: Accumulator) -> None:
+        self.inner = inner
+        self.seen: set[Any] = set()
+
+    def add(self, value: Any) -> None:
+        if value in self.seen:
+            return
+        self.seen.add(value)
+        self.inner.add(value)
+
+    def result(self) -> Any:
+        return self.inner.result()
+
+
+def make_accumulator(call: ast.FunctionCall) -> Accumulator:
+    """Create the accumulator for an aggregate function call."""
+    name = call.name
+    if name == "count":
+        star = len(call.args) == 1 and isinstance(call.args[0], ast.Star)
+        inner: Accumulator = _CountAll() if star and not call.distinct else _Count()
+    elif name == "sum":
+        inner = _Sum()
+    elif name == "avg":
+        inner = _Avg()
+    elif name == "min":
+        inner = _Min()
+    elif name == "max":
+        inner = _Max()
+    else:
+        raise ExecutionError(f"unknown aggregate function {name!r}")
+    if call.distinct:
+        return _Distinct(inner)
+    return inner
+
+
+# ---------------------------------------------------------------------------
+# Evaluator
+# ---------------------------------------------------------------------------
+
+
+def _compare(op: str, left: Any, right: Any) -> Any:
+    """SQL comparison with NULL propagation."""
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise ExecutionError(
+            f"cannot compare {left!r} and {right!r}") from exc
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    """SQL arithmetic with NULL propagation."""
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                # SQL integer division truncates toward zero
+                quotient = abs(left) // abs(right)
+                return quotient if (left >= 0) == (right >= 0) else -quotient
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            return left % right
+        if op == "||":
+            return str(left) + str(right)
+    except ExecutionError:
+        raise
+    except TypeError as exc:
+        raise ExecutionError(
+            f"bad operand types for {op!r}: {left!r}, {right!r}") from exc
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+class Evaluator:
+    """Evaluates expressions against rows of a fixed schema.
+
+    Aggregate function calls can be *pre-bound* to computed values via
+    ``bindings`` (used by the aggregate operator to substitute aggregate
+    results when evaluating HAVING / select-list expressions).
+    """
+
+    def __init__(self, schema: Schema,
+                 bindings: dict[ast.Expression, Any] | None = None) -> None:
+        self.schema = schema
+        self.bindings = bindings or {}
+        self._column_cache: dict[tuple[str, str | None], int] = {}
+
+    def _column_index(self, ref: ast.ColumnRef) -> int:
+        key = (ref.name.lower(),
+               ref.qualifier.lower() if ref.qualifier else None)
+        index = self._column_cache.get(key)
+        if index is None:
+            index = self.schema.index_of(ref.name, ref.qualifier)
+            self._column_cache[key] = index
+        return index
+
+    def evaluate(self, expression: ast.Expression, row: tuple) -> Any:
+        """Evaluate ``expression`` against ``row``; NULL is ``None``."""
+        if expression in self.bindings:
+            return self.bindings[expression]
+        if isinstance(expression, ast.Literal):
+            return expression.value
+        if isinstance(expression, ast.ColumnRef):
+            return row[self._column_index(expression)]
+        if isinstance(expression, ast.BinaryOp):
+            return self._evaluate_binary(expression, row)
+        if isinstance(expression, ast.UnaryOp):
+            return self._evaluate_unary(expression, row)
+        if isinstance(expression, ast.Between):
+            return self._evaluate_between(expression, row)
+        if isinstance(expression, ast.Like):
+            result = sql_like(self.evaluate(expression.operand, row),
+                              self.evaluate(expression.pattern, row))
+            if result is None:
+                return None
+            return (not result) if expression.negated else result
+        if isinstance(expression, ast.InList):
+            return self._evaluate_in(expression, row)
+        if isinstance(expression, ast.IsNull):
+            is_null = self.evaluate(expression.operand, row) is None
+            return (not is_null) if expression.negated else is_null
+        if isinstance(expression, ast.FunctionCall):
+            return self._evaluate_function(expression, row)
+        if isinstance(expression, ast.CaseWhen):
+            for condition, value in expression.branches:
+                if self.evaluate(condition, row) is True:
+                    return self.evaluate(value, row)
+            if expression.otherwise is not None:
+                return self.evaluate(expression.otherwise, row)
+            return None
+        if isinstance(expression, ast.Star):
+            raise ExecutionError("'*' is only valid in select lists/COUNT")
+        raise ExecutionError(
+            f"cannot evaluate expression node {type(expression).__name__}")
+
+    def matches(self, expression: ast.Expression, row: tuple) -> bool:
+        """Filter semantics: unknown (NULL) counts as false."""
+        return self.evaluate(expression, row) is True
+
+    # -- node-specific evaluation ------------------------------------------------
+
+    def _evaluate_binary(self, node: ast.BinaryOp, row: tuple) -> Any:
+        op = node.op
+        if op == "and":
+            left = self.evaluate(node.left, row)
+            if left is False:
+                return False
+            right = self.evaluate(node.right, row)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op == "or":
+            left = self.evaluate(node.left, row)
+            if left is True:
+                return True
+            right = self.evaluate(node.right, row)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = self.evaluate(node.left, row)
+        right = self.evaluate(node.right, row)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return _compare(op, left, right)
+        return _arith(op, left, right)
+
+    def _evaluate_unary(self, node: ast.UnaryOp, row: tuple) -> Any:
+        value = self.evaluate(node.operand, row)
+        if node.op == "not":
+            if value is None:
+                return None
+            return not value
+        if node.op == "-":
+            if value is None:
+                return None
+            return -value
+        raise ExecutionError(f"unknown unary operator {node.op!r}")
+
+    def _evaluate_between(self, node: ast.Between, row: tuple) -> Any:
+        value = self.evaluate(node.operand, row)
+        low = self.evaluate(node.low, row)
+        high = self.evaluate(node.high, row)
+        lower_ok = _compare(">=", value, low)
+        upper_ok = _compare("<=", value, high)
+        if lower_ok is False or upper_ok is False:
+            result: Any = False
+        elif lower_ok is None or upper_ok is None:
+            result = None
+        else:
+            result = True
+        if result is None:
+            return None
+        return (not result) if node.negated else result
+
+    def _evaluate_in(self, node: ast.InList, row: tuple) -> Any:
+        value = self.evaluate(node.operand, row)
+        if value is None:
+            return None
+        saw_null = False
+        for item in node.items:
+            candidate = self.evaluate(item, row)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return False if node.negated else True
+        if saw_null:
+            return None
+        return True if node.negated else False
+
+    def _evaluate_function(self, node: ast.FunctionCall, row: tuple) -> Any:
+        if node.name in AGGREGATE_NAMES:
+            raise ExecutionError(
+                f"aggregate {node.name}() used outside GROUP BY context")
+        fn = SCALAR_FUNCTIONS.get(node.name)
+        if fn is None:
+            raise ExecutionError(f"unknown function {node.name!r}")
+        args = [self.evaluate(arg, row) for arg in node.args]
+        return fn(*args)

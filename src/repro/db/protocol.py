@@ -1,0 +1,127 @@
+"""Client/server wire protocol (the engine's "libpq").
+
+All traffic between :class:`repro.db.client.DBClient` and
+:class:`repro.db.server.DBServer` is a request/response exchange of
+JSON-serializable frame dictionaries. Frames round-trip through
+:func:`encode_frame` / :func:`decode_frame` on every call, so the
+interposition layer (the LDV monitor and replayer) observes exactly the
+bytes-on-the-wire view a real libpq interceptor would.
+
+Frame types::
+
+    connect   {frame, client_name, process_id}
+    connected {frame, connection_id}
+    query     {frame, connection_id, sql, provenance}
+    result    {frame, kind, columns, types, rows, lineages, rowcount,
+               written, written_lineage, deleted, source_tables}
+    error     {frame, error_type, message}
+    close     {frame, connection_id}
+    closed    {frame}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.db.engine import StatementResult
+from repro.db.provtypes import TupleRef
+from repro.db.types import Column, Schema, SQLType
+from repro.errors import ProtocolError
+
+PROTOCOL_VERSION = 1
+
+
+def _ref_to_wire(ref: TupleRef) -> list:
+    return [ref.table, ref.rowid, ref.version]
+
+
+def _ref_from_wire(data: list) -> TupleRef:
+    return TupleRef(str(data[0]), int(data[1]), int(data[2]))
+
+
+def result_to_wire(result: StatementResult) -> dict[str, Any]:
+    """Serialize a StatementResult into a ``result`` frame."""
+    return {
+        "frame": "result",
+        "kind": result.kind,
+        "columns": result.schema.column_names(),
+        "types": [sql_type.value for sql_type in result.schema.types()],
+        "rows": [list(row) for row in result.rows],
+        "lineages": [sorted(_ref_to_wire(ref) for ref in lineage)
+                     for lineage in result.lineages],
+        "rowcount": result.rowcount,
+        "written": [_ref_to_wire(ref) for ref in result.written],
+        "written_lineage": [
+            [_ref_to_wire(ref), sorted(_ref_to_wire(dep) for dep in deps)]
+            for ref, deps in result.written_lineage.items()],
+        "deleted": [_ref_to_wire(ref) for ref in result.deleted],
+        "source_tables": list(result.source_tables),
+    }
+
+
+def result_from_wire(frame: dict[str, Any]) -> StatementResult:
+    """Deserialize a ``result`` frame back into a StatementResult."""
+    if frame.get("frame") != "result":
+        raise ProtocolError(f"expected result frame, got {frame.get('frame')!r}")
+    columns = [Column(name, SQLType(type_name))
+               for name, type_name in zip(frame["columns"], frame["types"])]
+    return StatementResult(
+        kind=frame["kind"],
+        schema=Schema(columns),
+        rows=[tuple(row) for row in frame["rows"]],
+        lineages=[frozenset(_ref_from_wire(item) for item in lineage)
+                  for lineage in frame["lineages"]],
+        rowcount=frame["rowcount"],
+        written=[_ref_from_wire(item) for item in frame["written"]],
+        written_lineage={
+            _ref_from_wire(ref): frozenset(_ref_from_wire(dep)
+                                           for dep in deps)
+            for ref, deps in frame["written_lineage"]},
+        deleted=[_ref_from_wire(item) for item in frame["deleted"]],
+        source_tables=list(frame["source_tables"]),
+    )
+
+
+def connect_frame(client_name: str, process_id: str) -> dict[str, Any]:
+    return {"frame": "connect", "client_name": client_name,
+            "process_id": process_id, "version": PROTOCOL_VERSION}
+
+
+def connected_frame(connection_id: int) -> dict[str, Any]:
+    return {"frame": "connected", "connection_id": connection_id}
+
+
+def query_frame(connection_id: int, sql: str,
+                provenance: bool = False) -> dict[str, Any]:
+    return {"frame": "query", "connection_id": connection_id,
+            "sql": sql, "provenance": provenance}
+
+
+def error_frame(error_type: str, message: str) -> dict[str, Any]:
+    return {"frame": "error", "error_type": error_type, "message": message}
+
+
+def close_frame(connection_id: int) -> dict[str, Any]:
+    return {"frame": "close", "connection_id": connection_id}
+
+
+def closed_frame() -> dict[str, Any]:
+    return {"frame": "closed"}
+
+
+def encode_frame(frame: dict[str, Any]) -> str:
+    """Serialize a frame to its wire representation (JSON text)."""
+    return json.dumps(frame, separators=(",", ":"))
+
+
+def decode_frame(text: str) -> dict[str, Any]:
+    """Parse a wire representation back into a frame dictionary."""
+    try:
+        frame = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(frame, dict) or "frame" not in frame:
+        raise ProtocolError("frame is missing its type tag")
+    return frame

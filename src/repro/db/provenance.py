@@ -1,0 +1,122 @@
+"""Perm / GProM façade: provenance queries and update reenactment.
+
+This module is the engine-side counterpart of the two external systems
+the LDV prototype builds on:
+
+* **Perm** (Glavic et al., ICDE 2009) computes the Lineage of a query
+  on demand — the LDV prototype sends the same query again with the
+  ``PROVENANCE`` keyword. :meth:`PermInterface.provenance_query` does
+  exactly that: it re-plans and re-executes the statement with lineage
+  tracking enabled, so the caller pays the full second execution, which
+  is the dominant audit overhead in Fig 7a/8a.
+* **GProM reenactment** (Arab et al., TaPP 2014) obtains the provenance
+  of a modification *before executing it* by translating the update
+  into a query over the pre-state. :meth:`PermInterface.reenact`
+  implements this translation for UPDATE and DELETE; INSERT ... VALUES
+  needs no reenactment (the paper notes the low Insert overhead for
+  precisely this reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.engine import Database, StatementResult
+from repro.db.provtypes import TupleRef
+from repro.db.sql import ast
+from repro.db.sql.parser import parse_sql
+from repro.errors import ExecutionError, SQLSyntaxError
+
+
+@dataclass
+class ReenactmentResult:
+    """Pre-state provenance of a modification statement."""
+
+    statement_kind: str  # insert | update | delete
+    # tuple versions the statement will read/overwrite (pre-state)
+    input_refs: list[TupleRef] = field(default_factory=list)
+    # their values, aligned with input_refs (used to ship pre-state
+    # versions in server-included packages)
+    input_rows: list[tuple] = field(default_factory=list)
+    table: str | None = None
+
+
+class PermInterface:
+    """Provenance-computation façade over one :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    # -- queries ---------------------------------------------------------------
+
+    def provenance_query(self, statement: ast.Select | str) -> StatementResult:
+        """Run a SELECT with Lineage tracking (Perm's PROVENANCE mode).
+
+        The statement is fully re-executed with annotation propagation,
+        mirroring the prototype's second, rewritten query execution.
+        """
+        select = self._as_select(statement)
+        return self.database.execute_statement(select, provenance=True)
+
+    def _as_select(self, statement: ast.Select | str) -> ast.Select:
+        if isinstance(statement, str):
+            parsed = parse_sql(statement)
+            if len(parsed) != 1 or not isinstance(parsed[0], ast.Select):
+                raise SQLSyntaxError(
+                    "provenance_query expects a single SELECT")
+            return parsed[0]
+        return statement
+
+    # -- modifications -----------------------------------------------------------
+
+    def reenact(self, statement: ast.Statement) -> ReenactmentResult:
+        """Compute the pre-state provenance of a modification.
+
+        Must be called *before* the modification executes — afterwards
+        the pre-state versions are gone (the first problem Section
+        VII-B identifies).
+        """
+        if isinstance(statement, ast.Insert):
+            return self._reenact_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._reenact_where(statement.table, statement.where,
+                                       "update")
+        if isinstance(statement, ast.Delete):
+            return self._reenact_where(statement.table, statement.where,
+                                       "delete")
+        raise ExecutionError(
+            f"cannot reenact statement type {type(statement).__name__}")
+
+    def _reenact_insert(self, insert: ast.Insert) -> ReenactmentResult:
+        result = ReenactmentResult("insert", table=insert.table.lower())
+        if insert.query is None:
+            # plain INSERT ... VALUES: no pre-state provenance
+            return result
+        # INSERT ... SELECT reads tuples: its provenance is the query's
+        query_result = self.provenance_query(insert.query)
+        refs: dict[TupleRef, None] = {}
+        for lineage in query_result.lineages:
+            for ref in lineage:
+                refs.setdefault(ref, None)
+        result.input_refs = list(refs)
+        result.input_rows = [
+            self.database.catalog.get_table(ref.table).get(ref.rowid)
+            for ref in result.input_refs]
+        return result
+
+    def _reenact_where(self, table_name: str,
+                       where: ast.Expression | None,
+                       kind: str) -> ReenactmentResult:
+        """Translate ``UPDATE/DELETE ... WHERE w`` into the reenactment
+        query ``SELECT PROVENANCE * FROM table WHERE w``."""
+        select = ast.Select(
+            items=(ast.SelectItem(ast.Star()),),
+            sources=(ast.TableRef(table_name),),
+            where=where)
+        query_result = self.provenance_query(select)
+        result = ReenactmentResult(kind, table=table_name.lower())
+        for row, lineage in zip(query_result.rows, query_result.lineages):
+            for ref in lineage:  # singleton per base row
+                result.input_refs.append(ref)
+                result.input_rows.append(row)
+        return result

@@ -1,0 +1,40 @@
+"""Shared provenance value types for the relational engine.
+
+Kept in a leaf module so the executor, the provenance rewriter, and the
+LDV monitor can all import :class:`TupleRef` without circular imports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+
+class TupleRef(NamedTuple):
+    """A stable reference to one *version* of one stored tuple.
+
+    ``table`` is the lower-cased table name, ``rowid`` the storage-level
+    row identifier (the paper's ``prov_rowid``) and ``version`` the
+    logical tick of the statement that last wrote the row (the paper's
+    ``prov_v``). Two references differing only in ``version`` denote two
+    versions of the same tuple, which the combined provenance model
+    treats as distinct entities.
+    """
+
+    table: str
+    rowid: int
+    version: int
+
+    def display(self) -> str:
+        return f"{self.table}[{self.rowid}@v{self.version}]"
+
+
+Lineage = frozenset  # alias: a lineage is a frozenset[TupleRef]
+
+EMPTY_LINEAGE: frozenset[TupleRef] = frozenset()
+
+
+class ResultRow(NamedTuple):
+    """One row of a query result with optional lineage annotation."""
+
+    values: tuple[Any, ...]
+    lineage: frozenset[TupleRef]

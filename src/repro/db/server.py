@@ -1,0 +1,107 @@
+"""The database server: owns a Database and answers protocol frames.
+
+One :class:`DBServer` serves any number of in-process connections. Its
+:meth:`handle_wire` method consumes and produces *encoded* frames
+(JSON text), which is the transport handed to clients — every exchange
+pays real serialization, like a socket would, and gives interceptors a
+faithful wire view.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.clockwork import LogicalClock
+from repro.db import protocol
+from repro.db.engine import Database
+from repro.errors import DatabaseError, ProtocolError, ReproError
+
+
+class DBServer:
+    """A single-process database server."""
+
+    def __init__(self, database: Database | None = None,
+                 data_directory: str | Path | None = None,
+                 clock: LogicalClock | None = None) -> None:
+        if database is not None and data_directory is not None:
+            raise ProtocolError(
+                "pass either a Database or a data_directory, not both")
+        if database is None:
+            database = Database(data_directory=data_directory, clock=clock)
+        self.database = database
+        self._connections: dict[int, str] = {}
+        self._next_connection_id = 1
+        self.started = True
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Checkpoint data files and refuse further traffic."""
+        self.database.close()
+        self.started = False
+        self._connections.clear()
+
+    # -- frame handling ----------------------------------------------------------
+
+    def transport(self) -> Callable[[str], str]:
+        """The wire-level transport handed to clients."""
+        return self.handle_wire
+
+    def handle_wire(self, request_text: str) -> str:
+        """Handle one encoded frame, returning an encoded response."""
+        try:
+            request = protocol.decode_frame(request_text)
+        except ProtocolError as exc:
+            return protocol.encode_frame(
+                protocol.error_frame("ProtocolError", str(exc)))
+        response = self.handle(request)
+        return protocol.encode_frame(response)
+
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Handle one decoded frame, returning a decoded response."""
+        if not self.started:
+            return protocol.error_frame(
+                "ConnectionClosedError", "server is shut down")
+        kind = request.get("frame")
+        try:
+            if kind == "connect":
+                return self._handle_connect(request)
+            if kind == "query":
+                return self._handle_query(request)
+            if kind == "close":
+                return self._handle_close(request)
+        except DatabaseError as exc:
+            return protocol.error_frame(type(exc).__name__, str(exc))
+        except ReproError as exc:  # pragma: no cover - defensive
+            return protocol.error_frame(type(exc).__name__, str(exc))
+        return protocol.error_frame(
+            "ProtocolError", f"unknown frame type {kind!r}")
+
+    def _handle_connect(self, request: dict[str, Any]) -> dict[str, Any]:
+        connection_id = self._next_connection_id
+        self._next_connection_id += 1
+        self._connections[connection_id] = str(
+            request.get("process_id", "unknown"))
+        return protocol.connected_frame(connection_id)
+
+    def _require_connection(self, request: dict[str, Any]) -> int:
+        connection_id = request.get("connection_id")
+        if connection_id not in self._connections:
+            raise ProtocolError(f"unknown connection {connection_id!r}")
+        return connection_id
+
+    def _handle_query(self, request: dict[str, Any]) -> dict[str, Any]:
+        self._require_connection(request)
+        result = self.database.execute(
+            request["sql"], provenance=bool(request.get("provenance")))
+        return protocol.result_to_wire(result)
+
+    def _handle_close(self, request: dict[str, Any]) -> dict[str, Any]:
+        connection_id = self._require_connection(request)
+        del self._connections[connection_id]
+        return protocol.closed_frame()
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._connections)

@@ -1,0 +1,5 @@
+"""SQL front end: lexer, AST, and recursive-descent parser."""
+
+from repro.db.sql.parser import parse_sql, parse_expression
+
+__all__ = ["parse_sql", "parse_expression"]

@@ -1,0 +1,318 @@
+"""Versioned heap storage with data-directory persistence.
+
+Every table row carries two pieces of system metadata in addition to its
+user-visible values:
+
+* ``rowid`` — a table-unique, stable identifier (the paper's
+  ``prov_rowid``), and
+* ``version`` — the logical tick of the last statement that wrote the
+  row (the paper's ``prov_v``).
+
+Tables persist to one file each inside a *data directory*
+(``<table>.tbl``: a JSON schema header line followed by CSV rows). The
+on-disk bytes are what PTU-style packaging copies wholesale and what the
+package-size experiments (Fig 9) measure.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.db.types import (
+    Column,
+    Schema,
+    SQLType,
+    coerce_row,
+    value_from_csv,
+    value_to_csv,
+)
+from repro.errors import CatalogError, ExecutionError, IntegrityError
+
+TABLE_FILE_SUFFIX = ".tbl"
+
+
+class HashIndex:
+    """An equality index: column value → set of rowids."""
+
+    def __init__(self, name: str, column: str, position: int) -> None:
+        self.name = name.lower()
+        self.column = column.lower()
+        self.position = position
+        self.buckets: dict[Any, set[int]] = {}
+
+    def add(self, rowid: int, value: Any) -> None:
+        if value is not None:
+            self.buckets.setdefault(value, set()).add(rowid)
+
+    def remove(self, rowid: int, value: Any) -> None:
+        bucket = self.buckets.get(value)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self.buckets[value]
+
+    def lookup(self, value: Any) -> frozenset[int]:
+        if value is None:
+            return frozenset()  # NULL never equals anything
+        return frozenset(self.buckets.get(value, ()))
+
+
+class HeapTable:
+    """An in-memory heap of versioned rows with optional PK enforcement."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        if not name or not name.isidentifier():
+            raise CatalogError(f"invalid table name {name!r}")
+        self.name = name.lower()
+        self.schema = schema
+        self.rows: dict[int, tuple[Any, ...]] = {}
+        self.versions: dict[int, int] = {}
+        self.next_rowid = 1
+        self._pk_positions: tuple[int, ...] = tuple(
+            index for index, column in enumerate(schema.columns)
+            if column.primary_key)
+        self._pk_index: dict[tuple[Any, ...], int] = {}
+        self.indexes: dict[str, HashIndex] = {}
+
+    # -- row operations --------------------------------------------------------
+
+    def insert(self, values: Iterable[Any], tick: int) -> int:
+        """Insert a row, returning its new rowid."""
+        row = coerce_row(values, self.schema)
+        if self._pk_positions:
+            key = tuple(row[i] for i in self._pk_positions)
+            if key in self._pk_index:
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in table {self.name}")
+            self._pk_index[key] = self.next_rowid
+        rowid = self.next_rowid
+        self.next_rowid += 1
+        self.rows[rowid] = row
+        self.versions[rowid] = tick
+        for index in self.indexes.values():
+            index.add(rowid, row[index.position])
+        return rowid
+
+    def update(self, rowid: int, values: Iterable[Any], tick: int) -> None:
+        """Replace a row's values, bumping its version."""
+        if rowid not in self.rows:
+            raise ExecutionError(
+                f"rowid {rowid} not found in table {self.name}")
+        row = coerce_row(values, self.schema)
+        if self._pk_positions:
+            old_key = tuple(self.rows[rowid][i] for i in self._pk_positions)
+            new_key = tuple(row[i] for i in self._pk_positions)
+            if new_key != old_key:
+                if new_key in self._pk_index:
+                    raise IntegrityError(
+                        f"duplicate primary key {new_key!r} in {self.name}")
+                del self._pk_index[old_key]
+                self._pk_index[new_key] = rowid
+        old_row = self.rows[rowid]
+        for index in self.indexes.values():
+            index.remove(rowid, old_row[index.position])
+            index.add(rowid, row[index.position])
+        self.rows[rowid] = row
+        self.versions[rowid] = tick
+
+    def delete(self, rowid: int) -> None:
+        """Remove a row."""
+        row = self.rows.pop(rowid, None)
+        if row is None:
+            raise ExecutionError(
+                f"rowid {rowid} not found in table {self.name}")
+        self.versions.pop(rowid, None)
+        if self._pk_positions:
+            key = tuple(row[i] for i in self._pk_positions)
+            self._pk_index.pop(key, None)
+        for index in self.indexes.values():
+            index.remove(rowid, row[index.position])
+
+    def restore_row(self, rowid: int, values: Iterable[Any],
+                    version: int) -> None:
+        """Install a row under an explicit rowid/version (package
+        restore). Keeps the PK index and rowid counter consistent."""
+        if rowid in self.rows:
+            raise ExecutionError(
+                f"rowid {rowid} already present in table {self.name}")
+        row = coerce_row(values, self.schema)
+        if self._pk_positions:
+            key = tuple(row[i] for i in self._pk_positions)
+            if key in self._pk_index:
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in table {self.name}")
+            self._pk_index[key] = rowid
+        self.rows[rowid] = row
+        self.versions[rowid] = version
+        self.next_rowid = max(self.next_rowid, rowid + 1)
+        for index in self.indexes.values():
+            index.add(rowid, row[index.position])
+
+    def get(self, rowid: int) -> tuple[Any, ...]:
+        row = self.rows.get(rowid)
+        if row is None:
+            raise ExecutionError(
+                f"rowid {rowid} not found in table {self.name}")
+        return row
+
+    def version_of(self, rowid: int) -> int:
+        version = self.versions.get(rowid)
+        if version is None:
+            raise ExecutionError(
+                f"rowid {rowid} not found in table {self.name}")
+        return version
+
+    def scan(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Yield ``(rowid, values)`` in rowid order (deterministic)."""
+        for rowid in sorted(self.rows):
+            yield rowid, self.rows[rowid]
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def truncate(self) -> None:
+        """Drop all rows but keep the schema and rowid counter."""
+        self.rows.clear()
+        self.versions.clear()
+        self._pk_index.clear()
+        for index in self.indexes.values():
+            index.buckets.clear()
+
+    # -- secondary indexes -------------------------------------------------------
+
+    def create_index(self, name: str, column: str,
+                     if_not_exists: bool = False) -> HashIndex:
+        """Build a hash index over one column."""
+        key = name.lower()
+        if key in self.indexes:
+            if if_not_exists:
+                return self.indexes[key]
+            raise CatalogError(f"index {name!r} already exists on "
+                               f"{self.name}")
+        position = self.schema.index_of(column)
+        index = HashIndex(key, column, position)
+        for rowid, row in self.rows.items():
+            index.add(rowid, row[position])
+        self.indexes[key] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name.lower() not in self.indexes:
+            raise CatalogError(f"no index {name!r} on {self.name}")
+        del self.indexes[name.lower()]
+
+    def index_on(self, column: str) -> HashIndex | None:
+        """An index covering ``column``, if any."""
+        wanted = column.lower()
+        for index in self.indexes.values():
+            if index.column == wanted:
+                return index
+        return None
+
+    # -- persistence -----------------------------------------------------------
+
+    def serialize(self) -> str:
+        """Render the table as its on-disk file format."""
+        buffer = io.StringIO()
+        header = {
+            "name": self.name,
+            "next_rowid": self.next_rowid,
+            "indexes": [{"name": index.name, "column": index.column}
+                        for index in self.indexes.values()],
+            "columns": [
+                {
+                    "name": column.name,
+                    "type": column.sql_type.value,
+                    "not_null": column.not_null,
+                    "primary_key": column.primary_key,
+                }
+                for column in self.schema.columns
+            ],
+        }
+        buffer.write(json.dumps(header, separators=(",", ":")))
+        buffer.write("\n")
+        writer = csv.writer(buffer, lineterminator="\n")
+        for rowid in sorted(self.rows):
+            cells = [str(rowid), str(self.versions[rowid])]
+            cells.extend(value_to_csv(value) for value in self.rows[rowid])
+            writer.writerow(cells)
+        return buffer.getvalue()
+
+    @classmethod
+    def deserialize(cls, text: str) -> "HeapTable":
+        """Parse the on-disk file format back into a table."""
+        newline = text.find("\n")
+        if newline == -1:
+            raise CatalogError("table file is missing its header line")
+        header = json.loads(text[:newline])
+        columns = [
+            Column(
+                name=column["name"],
+                sql_type=SQLType(column["type"]),
+                not_null=column["not_null"],
+                primary_key=column["primary_key"],
+            )
+            for column in header["columns"]
+        ]
+        table = cls(header["name"], Schema(columns))
+        types = table.schema.types()
+        reader = csv.reader(io.StringIO(text[newline + 1:]))
+        for cells in reader:
+            if not cells:
+                continue
+            rowid = int(cells[0])
+            version = int(cells[1])
+            values = tuple(
+                value_from_csv(cell, sql_type)
+                for cell, sql_type in zip(cells[2:], types))
+            table.rows[rowid] = values
+            table.versions[rowid] = version
+            if table._pk_positions:
+                key = tuple(values[i] for i in table._pk_positions)
+                table._pk_index[key] = rowid
+        table.next_rowid = max(header["next_rowid"],
+                               max(table.rows, default=0) + 1)
+        for index_def in header.get("indexes", ()):
+            table.create_index(index_def["name"], index_def["column"])
+        return table
+
+
+class DataDirectory:
+    """The on-disk home of a database: one ``.tbl`` file per table."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def table_path(self, name: str) -> Path:
+        return self.path / f"{name.lower()}{TABLE_FILE_SUFFIX}"
+
+    def save_table(self, table: HeapTable) -> None:
+        self.table_path(table.name).write_text(table.serialize())
+
+    def load_table(self, name: str) -> HeapTable:
+        path = self.table_path(name)
+        if not path.exists():
+            raise CatalogError(f"no stored table {name!r} in {self.path}")
+        return HeapTable.deserialize(path.read_text())
+
+    def drop_table(self, name: str) -> None:
+        path = self.table_path(name)
+        if path.exists():
+            path.unlink()
+
+    def table_names(self) -> list[str]:
+        return sorted(
+            path.name[: -len(TABLE_FILE_SUFFIX)]
+            for path in self.path.glob(f"*{TABLE_FILE_SUFFIX}"))
+
+    def total_bytes(self) -> int:
+        """Total size of all table files (what PTU packaging copies)."""
+        return sum(
+            path.stat().st_size
+            for path in self.path.glob(f"*{TABLE_FILE_SUFFIX}"))

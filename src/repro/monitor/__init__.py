@@ -1,0 +1,26 @@
+"""LDV monitoring (paper Section VII).
+
+* :mod:`repro.monitor.ptu` — the PTU-style OS monitor: consumes
+  syscall events from the virtual OS's tracer and builds the P_BB half
+  of the combined execution trace,
+* :mod:`repro.monitor.dbmonitor` — the instrumented-client DB monitor:
+  intercepts every statement at the client library, retrieves its
+  provenance (Perm provenance queries / GProM reenactment), maintains
+  tuple versioning, collects the relevant tuple versions, and records
+  the replay log for server-excluded packaging,
+* :mod:`repro.monitor.session` — :class:`AuditSession`, which wires
+  both monitors into one combined execution trace for an application
+  run.
+"""
+
+from repro.monitor.ptu import PTUMonitor
+from repro.monitor.dbmonitor import DBMonitor, RelevantTupleStore, ReplayLog
+from repro.monitor.session import AuditSession
+
+__all__ = [
+    "PTUMonitor",
+    "DBMonitor",
+    "RelevantTupleStore",
+    "ReplayLog",
+    "AuditSession",
+]

@@ -1,0 +1,168 @@
+"""PTU-style OS provenance monitoring (paper Section VII-A).
+
+:class:`PTUMonitor` is a :class:`repro.vos.ptrace.Tracer`: attached to
+a virtual OS it turns the syscall stream into the P_BB half of a
+combined execution trace:
+
+* ``fork``/``execve`` → process activities and ``executed`` edges
+  (point intervals — fork is treated as instantaneous, as in VII-A),
+* ``open``..``close`` → ``readFrom`` / ``hasWritten`` edges whose
+  interval spans first open to last close (re-opens widen the single
+  edge, matching the paper's one-interval-per-interaction design),
+* the executed binary itself is recorded as a file read at exec time.
+
+The monitor also keeps the bookkeeping packaging needs: every path
+read (with the binary dependencies) and every path written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.provenance.combined import TraceBuilder
+from repro.provenance.interval import TimeInterval
+from repro.vos.ptrace import Tracer
+from repro.vos.syscalls import SyscallEvent, SyscallName
+
+_READ_MODES = frozenset({"r", "rb"})
+
+
+@dataclass
+class _OpenFile:
+    path: str
+    mode: str
+    opened_at: int
+    last_activity: int
+
+
+class PTUMonitor(Tracer):
+    """Builds OS provenance from the syscall stream."""
+
+    def __init__(self, builder: TraceBuilder) -> None:
+        self.builder = builder
+        self._open_files: dict[tuple[int, int], _OpenFile] = {}
+        self.read_paths: set[str] = set()
+        self.written_paths: set[str] = set()
+        self.binary_paths: set[str] = set()
+        self.monitored_pids: set[int] = set()
+        self.connected_servers: set[str] = set()
+        self.syscall_count = 0
+
+    # -- tracer interface ----------------------------------------------------------
+
+    def on_syscall(self, event: SyscallEvent) -> None:
+        self.syscall_count += 1
+        name = event.name
+        if name is SyscallName.EXECVE:
+            self._on_execve(event)
+        elif name is SyscallName.FORK:
+            self._on_fork(event)
+        elif name is SyscallName.OPEN:
+            self._on_open(event)
+        elif name in (SyscallName.READ, SyscallName.WRITE):
+            self._on_io(event)
+        elif name is SyscallName.CLOSE:
+            self._on_close(event)
+        elif name is SyscallName.EXIT:
+            self._on_exit(event)
+        elif name is SyscallName.CONNECT:
+            # statement-level DB provenance belongs to the DB monitor;
+            # PTU only notes which servers the application talked to
+            # (packaging must provision a rendezvous for each)
+            self.connected_servers.add(event.arg("server"))
+        # send/recv are DB traffic; mkdir/unlink/symlink produce no
+        # provenance edges in P_BB.
+
+    # -- event handlers ---------------------------------------------------------------
+
+    def _on_execve(self, event: SyscallEvent) -> None:
+        pid = event.pid
+        binary = event.arg("path", "")
+        self.monitored_pids.add(pid)
+        self.builder.process(pid, binary.rsplit("/", 1)[-1])
+        if binary:
+            # the binary is an input file of the process
+            self.binary_paths.add(binary)
+            self.read_paths.add(binary)
+            self.builder.read_from(pid, binary,
+                                   TimeInterval.point(event.tick))
+
+    def _on_fork(self, event: SyscallEvent) -> None:
+        parent = event.pid
+        child = event.arg("child")
+        self.monitored_pids.add(parent)
+        self.monitored_pids.add(child)
+        self.builder.process(parent)
+        self.builder.process(child)
+        self.builder.executed(parent, child, event.tick)
+
+    def _on_open(self, event: SyscallEvent) -> None:
+        fd = event.result
+        self._open_files[(event.pid, fd)] = _OpenFile(
+            path=event.arg("path"), mode=event.arg("mode", "r"),
+            opened_at=event.tick, last_activity=event.tick)
+
+    def _on_io(self, event: SyscallEvent) -> None:
+        entry = self._open_files.get((event.pid, event.arg("fd")))
+        if entry is not None:
+            entry.last_activity = event.tick
+
+    def _on_close(self, event: SyscallEvent) -> None:
+        entry = self._open_files.pop((event.pid, event.arg("fd")), None)
+        if entry is None:
+            return
+        interval = TimeInterval(entry.opened_at, event.tick)
+        if entry.mode in _READ_MODES:
+            self.read_paths.add(entry.path)
+            self.builder.read_from(event.pid, entry.path, interval)
+        else:
+            self.written_paths.add(entry.path)
+            self.builder.has_written(event.pid, entry.path, interval)
+
+    def _on_exit(self, event: SyscallEvent) -> None:
+        # close any fds the process leaked (the kernel closes them too,
+        # emitting close events first, so this is pure defensiveness)
+        leaked = [key for key in self._open_files if key[0] == event.pid]
+        for key in leaked:
+            entry = self._open_files.pop(key)
+            interval = TimeInterval(entry.opened_at, event.tick)
+            if entry.mode in _READ_MODES:
+                self.read_paths.add(entry.path)
+                self.builder.read_from(event.pid, entry.path, interval)
+            else:
+                self.written_paths.add(entry.path)
+                self.builder.has_written(event.pid, entry.path, interval)
+
+    # -- packaging queries ------------------------------------------------------------
+
+    def input_paths(self) -> set[str]:
+        """Paths the application consumed: everything read, including
+        binaries, minus files the application itself created first.
+
+        A file both written and read is an input only if some process
+        read it before the first write (otherwise re-execution
+        recreates it)."""
+        inputs = set()
+        for path in self.read_paths:
+            if path not in self.written_paths:
+                inputs.add(path)
+                continue
+            first_read = self._first_interaction(path, "readFrom")
+            first_write = self._first_interaction(path, "hasWritten")
+            if first_read is not None and (
+                    first_write is None or first_read < first_write):
+                inputs.add(path)
+        return inputs
+
+    def _first_interaction(self, path: str, label: str) -> int | None:
+        node_id = f"file:{path}"
+        if not self.builder.trace.has_node(node_id):
+            return None
+        ticks = []
+        for edge in self.builder.trace.in_edges(node_id):
+            if edge.label == label:
+                ticks.append(edge.interval.begin)
+        for edge in self.builder.trace.out_edges(node_id):
+            if edge.label == label:
+                ticks.append(edge.interval.begin)
+        return min(ticks) if ticks else None

@@ -1,0 +1,129 @@
+"""The audit session: one monitored application run (Section VII-C).
+
+:class:`AuditSession` wires the PTU OS monitor and the DB client
+monitor onto a :class:`repro.vos.kernel.VirtualOS` and collects one
+combined execution trace plus everything packaging needs. Use it as a
+context manager around the application run::
+
+    with AuditSession(vos, mode="server-included",
+                      database=server.database) as session:
+        vos.run("/bin/app")
+    trace = session.trace
+
+Modes:
+
+* ``server-included`` — full DB provenance monitoring (Perm provenance
+  queries, reenactment, versioning, relevant-tuple collection),
+* ``server-excluded`` — statement/result recording for replay,
+* ``os-only`` — PTU baseline: OS monitoring only, no DB
+  instrumentation (the paper's "PostgreSQL + PTU" configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.db.client import DBClient
+from repro.db.engine import Database
+from repro.errors import AuditError
+from repro.monitor.dbmonitor import (
+    DBMonitor,
+    MODE_PROVENANCE,
+    MODE_RECORD,
+    RelevantTupleStore,
+    ReplayLog,
+)
+from repro.monitor.ptu import PTUMonitor
+from repro.provenance.combined import TraceBuilder
+from repro.provenance.trace import ExecutionTrace
+from repro.vos.kernel import VirtualOS
+from repro.vos.process import Process
+
+SERVER_INCLUDED = "server-included"
+SERVER_EXCLUDED = "server-excluded"
+OS_ONLY = "os-only"
+
+_MODES = (SERVER_INCLUDED, SERVER_EXCLUDED, OS_ONLY)
+
+
+class AuditSession:
+    """Monitors everything that runs on the virtual OS while active."""
+
+    def __init__(self, vos: VirtualOS, mode: str = SERVER_INCLUDED,
+                 database: Database | None = None) -> None:
+        if mode not in _MODES:
+            raise AuditError(f"unknown audit mode {mode!r}; "
+                             f"pick one of {_MODES}")
+        if mode == SERVER_INCLUDED and database is None:
+            raise AuditError(
+                "server-included auditing needs the server database "
+                "(the user must have access to the server, Section "
+                "VII-D)")
+        self.vos = vos
+        self.mode = mode
+        self.database = database
+        self.builder = TraceBuilder()
+        self.ptu = PTUMonitor(self.builder)
+        self.db_monitor: Optional[DBMonitor] = None
+        if mode == SERVER_INCLUDED:
+            self.db_monitor = DBMonitor(self.builder, MODE_PROVENANCE,
+                                        database, clock=vos.clock)
+        elif mode == SERVER_EXCLUDED:
+            self.db_monitor = DBMonitor(self.builder, MODE_RECORD,
+                                        database, clock=vos.clock)
+        self._active = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def __enter__(self) -> "AuditSession":
+        if self._active:
+            raise AuditError("audit session already active")
+        self._active = True
+        self.vos.attach_tracer(self.ptu)
+        if self.db_monitor is not None:
+            self.vos.client_decorators.append(self._decorate_client)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.vos.detach_tracer(self.ptu)
+        if self.db_monitor is not None:
+            self.vos.client_decorators.remove(self._decorate_client)
+        self._active = False
+
+    def _decorate_client(self, client: DBClient, process: Process) -> None:
+        assert self.db_monitor is not None
+        client.add_interceptor(self.db_monitor.interceptor_for(process))
+
+    # -- results ------------------------------------------------------------------
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        """The combined execution trace built so far."""
+        return self.builder.trace
+
+    @property
+    def relevant_tuples(self) -> RelevantTupleStore:
+        if self.db_monitor is None:
+            return RelevantTupleStore()
+        return self.db_monitor.relevant
+
+    @property
+    def replay_log(self) -> ReplayLog:
+        if self.db_monitor is None:
+            return ReplayLog()
+        return self.db_monitor.replay_log
+
+    @property
+    def created_refs(self) -> set:
+        if self.db_monitor is None:
+            return set()
+        return set(self.db_monitor.created_refs)
+
+    def input_paths(self) -> set[str]:
+        """Files the application consumed (for packaging): everything
+        its processes read, plus files the DB server bulk-loaded on
+        its behalf (COPY ... FROM)."""
+        paths = self.ptu.input_paths()
+        if self.db_monitor is not None:
+            paths |= self.db_monitor.copy_input_paths
+        return paths

@@ -1,0 +1,40 @@
+"""Provenance models, execution traces, and dependency inference.
+
+Implements Sections IV–VI of the paper:
+
+* :mod:`repro.provenance.model` — generic provenance models (Def 1),
+* :mod:`repro.provenance.trace` — execution traces with temporal edge
+  annotations (Def 2),
+* :mod:`repro.provenance.bb` — the blackbox process OS model P_BB
+  (Def 3) and its data dependencies (Def 8),
+* :mod:`repro.provenance.lineage` — the Lineage DB model P_Lin (Def 4)
+  and its data dependencies (Def 7),
+* :mod:`repro.provenance.combined` — the combined model with
+  cross-model edges (Defs 5, 6),
+* :mod:`repro.provenance.inference` — temporally restricted dependency
+  inference (Defs 9–11, Theorem 1),
+* :mod:`repro.provenance.prov_export` — W3C PROV-JSON serialization.
+"""
+
+from repro.provenance.interval import TimeInterval
+from repro.provenance.model import EdgeType, ProvenanceModel
+from repro.provenance.trace import ExecutionTrace, Node
+from repro.provenance.bb import BB_MODEL, bb_dependencies
+from repro.provenance.lineage import LIN_MODEL, lin_dependencies
+from repro.provenance.combined import COMBINED_MODEL, TraceBuilder
+from repro.provenance.inference import DependencyInference
+
+__all__ = [
+    "TimeInterval",
+    "EdgeType",
+    "ProvenanceModel",
+    "ExecutionTrace",
+    "Node",
+    "BB_MODEL",
+    "LIN_MODEL",
+    "COMBINED_MODEL",
+    "TraceBuilder",
+    "bb_dependencies",
+    "lin_dependencies",
+    "DependencyInference",
+]

@@ -1,0 +1,72 @@
+"""The blackbox process OS provenance model P_BB (Definitions 3 and 8).
+
+Activities are processes, entities are files. Edge types (stored in
+information-flow direction):
+
+* ``readFrom``  — file → process (the process read the file),
+* ``hasWritten`` — process → file (the process wrote the file),
+* ``executed``  — process → process (the parent executed the child).
+
+Definition 8 declares a file ``f`` data-dependent on a file ``f'``
+whenever ``f' → P_1 → ... → P_n → f`` with consecutive processes linked
+by ``executed`` edges — the conservative "every output depends on every
+input" assumption, extended down process chains.
+"""
+
+from __future__ import annotations
+
+from repro.provenance.model import EdgeType, ProvenanceModel
+from repro.provenance.trace import ExecutionTrace
+
+PROCESS = "process"
+FILE = "file"
+READ_FROM = "readFrom"
+HAS_WRITTEN = "hasWritten"
+EXECUTED = "executed"
+
+BB_MODEL = ProvenanceModel(
+    name="bb",
+    activity_types=[PROCESS],
+    entity_types=[FILE],
+    edge_types=[
+        EdgeType(READ_FROM, FILE, PROCESS),
+        EdgeType(HAS_WRITTEN, PROCESS, FILE),
+        EdgeType(EXECUTED, PROCESS, PROCESS),
+    ],
+)
+
+
+def process_node_id(pid: int) -> str:
+    return f"proc:{pid}"
+
+
+def file_node_id(path: str) -> str:
+    return f"file:{path}"
+
+
+def bb_dependencies(trace: ExecutionTrace) -> set[tuple[str, str]]:
+    """``D(G)`` for P_BB (Definition 8): pairs ``(f, f')`` meaning file
+    ``f`` depends on file ``f'``.
+
+    Ignores temporal annotations — those are the inference layer's job
+    (Definition 11). This is the raw, conservative relation.
+    """
+    dependencies: set[tuple[str, str]] = set()
+    for entity in trace.entities(FILE):
+        source_id = entity.node_id
+        # walk forward through process chains (executed edges only)
+        seen_processes: set[str] = set()
+        frontier = [
+            edge.target for edge in trace.out_edges(source_id)
+            if edge.label == READ_FROM]
+        while frontier:
+            process_id = frontier.pop()
+            if process_id in seen_processes:
+                continue
+            seen_processes.add(process_id)
+            for edge in trace.out_edges(process_id):
+                if edge.label == HAS_WRITTEN:
+                    dependencies.add((edge.target, source_id))
+                elif edge.label == EXECUTED:
+                    frontier.append(edge.target)
+    return dependencies

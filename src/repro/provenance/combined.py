@@ -1,0 +1,147 @@
+"""The combined OS+DB provenance model (Definitions 5 and 6).
+
+Adds two cross-model edge types to the union of P_BB and P_Lin:
+
+* ``run``        — process → statement (the process executed the SQL
+  statement),
+* ``readFromDB`` — tuple → process (the process consumed the result
+  tuple). The paper reuses the name ``readFrom`` for this edge; since
+  Definition 1 requires pairwise-distinct labels (and the combined
+  model already has P_BB's file→process ``readFrom``), the DB-side
+  edge is named ``readFromDB`` here.
+
+:class:`TraceBuilder` is the convenience layer the LDV monitor uses to
+grow a combined execution trace while an application runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.db.provtypes import TupleRef
+from repro.provenance import bb, lineage
+from repro.provenance.interval import TimeInterval
+from repro.provenance.model import EdgeType, ProvenanceModel
+from repro.provenance.trace import ExecutionTrace, Node
+
+RUN = "run"
+READ_FROM_DB = "readFromDB"
+
+_CROSS_EDGES = [
+    EdgeType(RUN, bb.PROCESS, statement_type)
+    for statement_type in lineage.STATEMENT_TYPES
+]
+# one typed RUN edge per statement type, same naming scheme as lineage
+_CROSS_EDGES = (
+    [EdgeType(RUN, bb.PROCESS, lineage.QUERY)]
+    + [EdgeType(f"run_{statement_type}", bb.PROCESS, statement_type)
+       for statement_type in (lineage.INSERT, lineage.UPDATE,
+                              lineage.DELETE)]
+    + [EdgeType(READ_FROM_DB, lineage.TUPLE, bb.PROCESS)]
+)
+
+COMBINED_MODEL = bb.BB_MODEL.combine(
+    lineage.LIN_MODEL, _CROSS_EDGES, name="bb+lin")
+
+
+def run_label(statement_type: str) -> str:
+    if statement_type == lineage.QUERY:
+        return RUN
+    return f"run_{statement_type}"
+
+
+def is_run_edge(label: str) -> bool:
+    return label == RUN or label.startswith("run_")
+
+
+class TraceBuilder:
+    """Grows a combined execution trace during monitoring.
+
+    All methods are idempotent with respect to node creation and widen
+    edge intervals on repeated interactions, so the monitor can call
+    them straight from its event handlers.
+    """
+
+    def __init__(self) -> None:
+        self.trace = ExecutionTrace(COMBINED_MODEL)
+
+    # -- OS side -----------------------------------------------------------------
+
+    def process(self, pid: int, name: str = "") -> str:
+        node_id = bb.process_node_id(pid)
+        self.trace.add_activity(node_id, bb.PROCESS, "bb",
+                                pid=pid, name=name)
+        return node_id
+
+    def file(self, path: str) -> str:
+        node_id = bb.file_node_id(path)
+        self.trace.add_entity(node_id, bb.FILE, "bb", path=path)
+        return node_id
+
+    def executed(self, parent_pid: int, child_pid: int,
+                 tick: int) -> None:
+        """Parent forked/executed child (point interval, as in VII-A)."""
+        self.trace.add_edge(
+            bb.process_node_id(parent_pid), bb.process_node_id(child_pid),
+            bb.EXECUTED, TimeInterval.point(tick))
+
+    def read_from(self, pid: int, path: str,
+                  interval: TimeInterval) -> None:
+        self.file(path)
+        self.trace.add_edge(bb.file_node_id(path), bb.process_node_id(pid),
+                            bb.READ_FROM, interval)
+
+    def has_written(self, pid: int, path: str,
+                    interval: TimeInterval) -> None:
+        self.file(path)
+        self.trace.add_edge(bb.process_node_id(pid), bb.file_node_id(path),
+                            bb.HAS_WRITTEN, interval)
+
+    # -- DB side ------------------------------------------------------------------
+
+    def statement(self, statement_id: str, statement_type: str,
+                  sql: str = "") -> str:
+        node_id = lineage.statement_node_id(statement_id)
+        self.trace.add_activity(node_id, statement_type, "lin",
+                                sql=sql, statement_id=statement_id)
+        return node_id
+
+    def tuple_version(self, ref: TupleRef) -> str:
+        node_id = lineage.tuple_node_id(ref)
+        self.trace.add_entity(node_id, lineage.TUPLE, "lin",
+                              table=ref.table, rowid=ref.rowid,
+                              version=ref.version)
+        return node_id
+
+    def has_read(self, statement_node: str, ref: TupleRef,
+                 tick: int) -> None:
+        statement_type = self.trace.node(statement_node).type_label
+        self.trace.add_edge(self.tuple_version(ref), statement_node,
+                            lineage.read_label(statement_type),
+                            TimeInterval.point(tick))
+
+    def has_returned(self, statement_node: str, ref: TupleRef, tick: int,
+                     lineage_refs: Iterable[TupleRef] = ()) -> None:
+        """Statement produced a tuple version; ``lineage_refs`` is its
+        Lineage attribution (Definition 7)."""
+        statement_type = self.trace.node(statement_node).type_label
+        self.trace.add_edge(
+            statement_node, self.tuple_version(ref),
+            lineage.returned_label(statement_type),
+            TimeInterval.point(tick),
+            lineage=sorted(lineage.tuple_node_id(dep)
+                           for dep in lineage_refs))
+
+    # -- cross-model edges -------------------------------------------------------------
+
+    def run(self, pid: int, statement_node: str,
+            interval: TimeInterval) -> None:
+        statement_type = self.trace.node(statement_node).type_label
+        self.trace.add_edge(bb.process_node_id(pid), statement_node,
+                            run_label(statement_type), interval)
+
+    def read_from_db(self, pid: int, ref: TupleRef, tick: int) -> None:
+        """The process consumed a result tuple returned by a query."""
+        self.trace.add_edge(self.tuple_version(ref),
+                            bb.process_node_id(pid),
+                            READ_FROM_DB, TimeInterval.point(tick))

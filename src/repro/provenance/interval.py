@@ -1,0 +1,58 @@
+"""Time intervals over the discrete time domain ``T`` (Definition 2).
+
+Every edge of an execution trace carries a :class:`TimeInterval`
+``[begin, end]`` recording when the two connected nodes interacted —
+e.g. the span between a file's first open and last close by a process,
+or the single tick at which a query produced a result tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProvenanceError
+
+
+@dataclass(frozen=True, order=True)
+class TimeInterval:
+    """A closed interval ``[begin, end]`` of logical ticks."""
+
+    begin: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.begin > self.end:
+            raise ProvenanceError(
+                f"interval begin {self.begin} after end {self.end}")
+
+    @classmethod
+    def point(cls, tick: int) -> "TimeInterval":
+        """The degenerate interval ``[t, t]`` (instantaneous events)."""
+        return cls(tick, tick)
+
+    def contains(self, tick: int) -> bool:
+        return self.begin <= tick <= self.end
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        return self.begin <= other.end and other.begin <= self.end
+
+    def hull(self, other: "TimeInterval") -> "TimeInterval":
+        """The smallest interval covering both (used when a process
+        re-opens a file: the trace keeps one edge per interaction kind,
+        widening its interval)."""
+        return TimeInterval(min(self.begin, other.begin),
+                            max(self.end, other.end))
+
+    @property
+    def is_point(self) -> bool:
+        return self.begin == self.end
+
+    def to_json(self) -> list[int]:
+        return [self.begin, self.end]
+
+    @classmethod
+    def from_json(cls, data: list[int]) -> "TimeInterval":
+        return cls(int(data[0]), int(data[1]))
+
+    def __str__(self) -> str:
+        return f"[{self.begin}, {self.end}]"

@@ -1,0 +1,111 @@
+"""The Lineage DB provenance model P_Lin (Definitions 4 and 7).
+
+Activities are SQL statements (query / insert / update / delete),
+entities are tuple *versions*. Edge types (information-flow direction):
+
+* ``hasRead``     — tuple → statement (the statement read the tuple),
+* ``hasReturned`` — statement → tuple (the statement produced the
+  tuple version: a query result or a modification's new version).
+
+Per-result Lineage attribution — which of a statement's read tuples
+contributed to which of its result tuples — cannot be recovered from
+graph shape alone, so each ``hasReturned`` edge carries a ``lineage``
+attribute listing the contributing tuple node ids. Definition 7's
+``D(G)`` is read off those attributes.
+"""
+
+from __future__ import annotations
+
+from repro.db.provtypes import TupleRef
+from repro.provenance.model import EdgeType, ProvenanceModel
+from repro.provenance.trace import ExecutionTrace
+
+QUERY = "query"
+INSERT = "insert"
+UPDATE = "update"
+DELETE = "delete"
+TUPLE = "tuple"
+HAS_READ = "hasRead"
+HAS_RETURNED = "hasReturned"
+
+STATEMENT_TYPES = (QUERY, INSERT, UPDATE, DELETE)
+
+LIN_MODEL = ProvenanceModel(
+    name="lin",
+    activity_types=list(STATEMENT_TYPES),
+    entity_types=[TUPLE],
+    edge_types=[
+        EdgeType(HAS_READ, TUPLE, QUERY),
+        EdgeType(HAS_RETURNED, QUERY, TUPLE),
+        # modifications read the pre-versions and return the new ones
+        EdgeType("hasRead_insert", TUPLE, INSERT),
+        EdgeType("hasReturned_insert", INSERT, TUPLE),
+        EdgeType("hasRead_update", TUPLE, UPDATE),
+        EdgeType("hasReturned_update", UPDATE, TUPLE),
+        EdgeType("hasRead_delete", TUPLE, DELETE),
+        EdgeType("hasReturned_delete", DELETE, TUPLE),
+    ],
+)
+
+# The paper writes hasRead(tuple, A) / hasReturned(A, tuple) generically
+# over all statement types; a typed model needs one edge type per
+# (label, activity-type) pair. These helpers pick the right label.
+
+
+def read_label(statement_type: str) -> str:
+    if statement_type == QUERY:
+        return HAS_READ
+    return f"hasRead_{statement_type}"
+
+
+def returned_label(statement_type: str) -> str:
+    if statement_type == QUERY:
+        return HAS_RETURNED
+    return f"hasReturned_{statement_type}"
+
+
+def is_read_edge(label: str) -> bool:
+    return label == HAS_READ or label.startswith("hasRead_")
+
+
+def is_returned_edge(label: str) -> bool:
+    return label == HAS_RETURNED or label.startswith("hasReturned_")
+
+
+def statement_node_id(statement_id: str) -> str:
+    return f"stmt:{statement_id}"
+
+
+def tuple_node_id(ref: TupleRef) -> str:
+    return f"tuple:{ref.table}:{ref.rowid}:v{ref.version}"
+
+
+def tuple_ref_of(node_id: str) -> TupleRef:
+    """Parse a tuple node id back into a :class:`TupleRef`."""
+    prefix, table, rowid, version = node_id.split(":")
+    if prefix != "tuple" or not version.startswith("v"):
+        raise ValueError(f"not a tuple node id: {node_id!r}")
+    return TupleRef(table, int(rowid), int(version[1:]))
+
+
+def lin_dependencies(trace: ExecutionTrace) -> set[tuple[str, str]]:
+    """``D(G)`` for P_Lin (Definition 7): pairs ``(t, t')`` meaning
+    tuple version ``t`` depends on tuple version ``t'``.
+
+    ``t`` depends on ``t'`` when some statement both read ``t'`` and
+    returned ``t`` with ``t'`` in the ``lineage`` attribution of the
+    hasReturned edge.
+    """
+    dependencies: set[tuple[str, str]] = set()
+    for activity in trace.activities():
+        if activity.type_label not in STATEMENT_TYPES:
+            continue
+        read_ids = {edge.source for edge in trace.in_edges(activity.node_id)
+                    if is_read_edge(edge.label)}
+        for edge in trace.out_edges(activity.node_id):
+            if not is_returned_edge(edge.label):
+                continue
+            for contributor in edge.attrs.get("lineage", ()):
+                if contributor in read_ids:
+                    dependencies.add((edge.target, contributor))
+    return dependencies

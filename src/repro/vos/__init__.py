@@ -1,0 +1,29 @@
+"""A virtual OS: filesystem, processes, syscalls, and a ptrace tracer.
+
+This package is the substrate standing in for Linux + ``ptrace`` in the
+LDV paper. Applications are Python callables ("programs") registered as
+binaries in a :class:`VirtualFileSystem`; running them through
+:class:`VirtualOS` produces the same observable event stream a ptrace
+supervisor sees — ``open``/``read``/``write``/``close``/``fork``/
+``execve``/``connect`` — with deterministic logical timestamps, which
+is exactly what the PTU monitor consumes to build OS provenance.
+"""
+
+from repro.vos.filesystem import VirtualFileSystem
+from repro.vos.kernel import VirtualOS
+from repro.vos.process import Process, ProcessState
+from repro.vos.programs import ProcessContext, program
+from repro.vos.ptrace import Tracer
+from repro.vos.syscalls import SyscallEvent, SyscallName
+
+__all__ = [
+    "VirtualFileSystem",
+    "VirtualOS",
+    "Process",
+    "ProcessState",
+    "ProcessContext",
+    "program",
+    "Tracer",
+    "SyscallEvent",
+    "SyscallName",
+]

@@ -1,0 +1,75 @@
+"""Process objects and the process table."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProcessError
+
+
+class ProcessState(enum.Enum):
+    RUNNING = "running"
+    EXITED = "exited"
+
+
+@dataclass
+class Process:
+    """One (simulated) OS process."""
+
+    pid: int
+    ppid: Optional[int]
+    binary: str
+    argv: list[str]
+    state: ProcessState = ProcessState.RUNNING
+    exit_code: Optional[int] = None
+    started_at: int = 0
+    exited_at: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return self.binary.rsplit("/", 1)[-1]
+
+    def exit(self, code: int, tick: int) -> None:
+        if self.state is ProcessState.EXITED:
+            raise ProcessError(f"pid {self.pid} already exited")
+        self.state = ProcessState.EXITED
+        self.exit_code = code
+        self.exited_at = tick
+
+
+class ProcessTable:
+    """PID allocation and genealogy."""
+
+    def __init__(self, first_pid: int = 100) -> None:
+        self._processes: dict[int, Process] = {}
+        self._next_pid = first_pid
+
+    def create(self, binary: str, argv: list[str],
+               parent: Optional[Process], tick: int) -> Process:
+        process = Process(
+            pid=self._next_pid,
+            ppid=parent.pid if parent is not None else None,
+            binary=binary,
+            argv=list(argv),
+            started_at=tick)
+        self._next_pid += 1
+        self._processes[process.pid] = process
+        return process
+
+    def get(self, pid: int) -> Process:
+        process = self._processes.get(pid)
+        if process is None:
+            raise ProcessError(f"unknown pid {pid}")
+        return process
+
+    def children_of(self, pid: int) -> list[Process]:
+        return [process for process in self._processes.values()
+                if process.ppid == pid]
+
+    def all(self) -> list[Process]:
+        return sorted(self._processes.values(), key=lambda p: p.pid)
+
+    def __len__(self) -> int:
+        return len(self._processes)

@@ -1,0 +1,209 @@
+"""The program-side API: what code running inside the virtual OS sees.
+
+A program is ``def main(ctx: ProcessContext) -> int | None``. The
+context exposes file I/O (every call emits the corresponding syscall),
+child-process spawning, and DB connections. File handles keep the
+open → read/write → close discipline so the tracer observes the same
+interval structure ptrace sees on a real system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.db.client import DBClient
+from repro.errors import BadFileDescriptorError, VosError
+from repro.vos.process import Process
+from repro.vos.syscalls import SyscallName
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vos.kernel import VirtualOS
+
+_READ_MODES = frozenset({"r", "rb"})
+_WRITE_MODES = frozenset({"w", "wb", "a", "ab"})
+
+
+def program(fn: Callable) -> Callable:
+    """Decorator marking a callable as a vos program (documentation
+    only — any callable with the right signature works)."""
+    fn.__vos_program__ = True
+    return fn
+
+
+class FileHandle:
+    """An open file descriptor."""
+
+    def __init__(self, context: "ProcessContext", fd: int, path: str,
+                 mode: str) -> None:
+        self.context = context
+        self.fd = fd
+        self.path = path
+        self.mode = mode
+        self.closed = False
+        if mode in ("w", "wb"):
+            context.os.fs.write_file(path, b"", create_parents=True)
+        elif mode in ("a", "ab") and not context.os.fs.exists(path):
+            context.os.fs.write_file(path, b"", create_parents=True)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise BadFileDescriptorError(
+                f"fd {self.fd} ({self.path}) is closed")
+
+    def read(self) -> bytes:
+        self._check_open()
+        if self.mode not in _READ_MODES:
+            raise BadFileDescriptorError(
+                f"fd {self.fd} not open for reading")
+        content = self.context.os.fs.read_file(self.path)
+        self.context.os.emit(self.context.process.pid, SyscallName.READ,
+                             result=len(content), fd=self.fd,
+                             path=self.path)
+        return content
+
+    def read_text(self) -> str:
+        return self.read().decode()
+
+    def write(self, data: bytes | str) -> int:
+        self._check_open()
+        if self.mode not in _WRITE_MODES:
+            raise BadFileDescriptorError(
+                f"fd {self.fd} not open for writing")
+        if isinstance(data, str):
+            data = data.encode()
+        self.context.os.fs.append_file(self.path, data)
+        self.context.os.emit(self.context.process.pid, SyscallName.WRITE,
+                             result=len(data), fd=self.fd, path=self.path)
+        return len(data)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.context.os.emit(self.context.process.pid, SyscallName.CLOSE,
+                             fd=self.fd, path=self.path)
+        self.context._handles.pop(self.fd, None)
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class _TracedTransport:
+    """Wraps a DB wire transport so round trips emit send/recv."""
+
+    def __init__(self, context: "ProcessContext", server: str,
+                 inner: Callable[[str], str]) -> None:
+        self.context = context
+        self.server = server
+        self.inner = inner
+
+    def __call__(self, request_text: str) -> str:
+        os = self.context.os
+        pid = self.context.process.pid
+        os.emit(pid, SyscallName.SEND, result=len(request_text),
+                server=self.server)
+        response_text = self.inner(request_text)
+        os.emit(pid, SyscallName.RECV, result=len(response_text),
+                server=self.server)
+        return response_text
+
+
+class ProcessContext:
+    """The system-call interface handed to a running program."""
+
+    def __init__(self, os: "VirtualOS", process: Process,
+                 env: dict[str, str]) -> None:
+        self.os = os
+        self.process = process
+        self.env = env
+        self._next_fd = 3  # 0/1/2 reserved, as on a real system
+        self._handles: dict[int, FileHandle] = {}
+        self._clients: list[DBClient] = []
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def argv(self) -> list[str]:
+        return self.process.argv
+
+    # -- file I/O -----------------------------------------------------------------
+
+    def open(self, path: str, mode: str = "r") -> FileHandle:
+        if mode not in _READ_MODES | _WRITE_MODES:
+            raise VosError(f"unsupported open mode {mode!r}")
+        fd = self._next_fd
+        self._next_fd += 1
+        handle = FileHandle(self, fd, path, mode)
+        self._handles[fd] = handle
+        self.os.emit(self.process.pid, SyscallName.OPEN, result=fd,
+                     path=path, mode=mode)
+        return handle
+
+    def read_file(self, path: str) -> bytes:
+        """Convenience: open, read, close."""
+        with self.open(path, "rb") as handle:
+            return handle.read()
+
+    def read_text(self, path: str) -> str:
+        return self.read_file(path).decode()
+
+    def write_file(self, path: str, data: bytes | str) -> int:
+        """Convenience: open for write, write, close."""
+        with self.open(path, "wb") as handle:
+            return handle.write(data)
+
+    def append_file(self, path: str, data: bytes | str) -> int:
+        with self.open(path, "ab") as handle:
+            return handle.write(data)
+
+    def unlink(self, path: str) -> None:
+        self.os.fs.remove(path)
+        self.os.emit(self.process.pid, SyscallName.UNLINK, path=path)
+
+    def mkdir(self, path: str, parents: bool = False) -> None:
+        self.os.fs.mkdir(path, parents=parents, exist_ok=True)
+        self.os.emit(self.process.pid, SyscallName.MKDIR, path=path)
+
+    def close_all(self) -> None:
+        """Close leaked fds and DB clients at process exit."""
+        for handle in list(self._handles.values()):
+            handle.close()
+        for client in self._clients:
+            if client.connected:
+                client.close()
+
+    # -- processes -----------------------------------------------------------------
+
+    def spawn(self, binary_path: str, argv: list[str] | None = None,
+              env: dict[str, str] | None = None) -> Process:
+        """fork + execve + waitpid: run a child program to completion."""
+        merged_env = dict(self.env)
+        merged_env.update(env or {})
+        return self.os.run(binary_path, argv, merged_env,
+                           parent=self.process)
+
+    # -- DB connections --------------------------------------------------------------
+
+    def connect_db(self, server_name: str) -> DBClient:
+        """Connect to a registered DB server through the client library.
+
+        Emits a ``connect`` syscall, wraps the wire transport so
+        traffic emits ``send``/``recv``, and applies every registered
+        client decorator (the LDV instrumentation hook).
+        """
+        transport = self.os.db_transport(server_name)
+        traced = _TracedTransport(self, server_name, transport)
+        client = DBClient(traced, client_name=self.process.name,
+                          process_id=str(self.process.pid))
+        self.os.emit(self.process.pid, SyscallName.CONNECT,
+                     server=server_name)
+        for decorator in self.os.client_decorators:
+            decorator(client, self.process)
+        client.connect()
+        self._clients.append(client)
+        return client

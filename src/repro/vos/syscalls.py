@@ -1,0 +1,61 @@
+"""Syscall event records — what a ptrace supervisor observes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class SyscallName(enum.Enum):
+    """The syscalls the tracer can observe.
+
+    The set mirrors what PTU/CDE intercept via ptrace: file I/O,
+    process control, and (LDV's addition) DB connection traffic.
+    """
+
+    OPEN = "open"
+    READ = "read"
+    WRITE = "write"
+    CLOSE = "close"
+    UNLINK = "unlink"
+    MKDIR = "mkdir"
+    SYMLINK = "symlink"
+    FORK = "fork"
+    EXECVE = "execve"
+    EXIT = "exit"
+    CONNECT = "connect"
+    SEND = "send"
+    RECV = "recv"
+
+
+@dataclass(frozen=True)
+class SyscallEvent:
+    """One observed syscall, stamped with a logical tick.
+
+    ``args`` carries call-specific details (path, fd, mode, child pid,
+    DB server name, ...); ``result`` the return value visible to the
+    caller.
+    """
+
+    tick: int
+    pid: int
+    name: SyscallName
+    args: tuple[tuple[str, Any], ...] = ()
+    result: Any = None
+
+    def arg(self, key: str, default: Any = None) -> Any:
+        for arg_key, value in self.args:
+            if arg_key == key:
+                return value
+        return default
+
+    @staticmethod
+    def make(tick: int, pid: int, name: SyscallName,
+             result: Any = None, **args: Any) -> "SyscallEvent":
+        return SyscallEvent(tick, pid, name,
+                            tuple(sorted(args.items())), result)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        rendered = ", ".join(f"{key}={value!r}" for key, value in self.args)
+        return f"[{self.tick}] pid={self.pid} {self.name.value}({rendered})"

@@ -1,0 +1,19 @@
+"""Workloads: the TPC-H substrate and the paper's benchmark app.
+
+* :mod:`repro.workloads.tpch` — schema, deterministic data generator,
+  the Table II query variants, and the insert/update refresh streams,
+* :mod:`repro.workloads.app` — the three-step benchmark application of
+  Section IX-A (Insert / Select / Update) as virtual-OS programs,
+* :mod:`repro.workloads.halos` — "Alice's halo finder" from the
+  introduction, used by the examples.
+"""
+
+from repro.workloads.tpch.dbgen import TPCHConfig, TPCHGenerator
+from repro.workloads.tpch.queries import QueryVariant, table2_variants
+
+__all__ = [
+    "TPCHConfig",
+    "TPCHGenerator",
+    "QueryVariant",
+    "table2_variants",
+]

@@ -1,0 +1,191 @@
+"""The benchmark application of Section IX-A as virtual-OS programs.
+
+The application runs three steps against the TPC-H database, each as
+its own process (so the OS trace has real process/file structure):
+
+1. **Insert** — read ``/data/new_orders.sql`` and execute each INSERT
+   (1000 tuples into ``orders`` at paper scale),
+2. **Select** — run one Table II query variant N times (10 in the
+   paper), appending result counts to ``/data/results.txt``,
+3. **Update** — read ``/data/updates.sql`` and execute each UPDATE
+   (100 tuples at paper scale).
+
+:func:`build_world` assembles the whole scenario: virtual OS, loaded
+TPC-H database behind a server, statement files, registered step
+programs, and the program registry replay needs. Counts default to a
+laptop-friendly fraction of the paper's; pass ``paper_scale=True``
+style counts explicitly to match them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.db.engine import Database
+from repro.db.server import DBServer
+from repro.vos.kernel import VirtualOS
+from repro.workloads.tpch.dbgen import TPCHConfig, TPCHGenerator
+from repro.workloads.tpch.queries import QueryVariant, table2_variants
+from repro.workloads.tpch.refresh import insert_statements, update_statements
+
+SERVER_NAME = "tpch"
+SERVER_BINARY = "/usr/lib/dbms/postgres"
+SERVER_LIBS = ["/usr/lib/dbms/libperm.so", "/usr/lib/dbms/libpq.so"]
+
+APP_BINARY = "/bin/tpch_app"
+INSERT_BINARY = "/bin/tpch_insert"
+SELECT_BINARY = "/bin/tpch_select"
+UPDATE_BINARY = "/bin/tpch_update"
+
+INSERT_FILE = "/data/new_orders.sql"
+UPDATE_FILE = "/data/updates.sql"
+QUERY_FILE = "/data/query.sql"
+RESULT_FILE = "/data/results.txt"
+
+# sizes of the fake server binaries: large enough that "ship the
+# server" visibly costs package bytes, as it does for a real DBMS
+_SERVER_BINARY_SIZE = 6 << 20
+_SERVER_LIB_SIZE = 1 << 20
+
+
+def _run_statement_file(ctx, path: str) -> int:
+    """Execute every statement in a one-statement-per-line file."""
+    client = ctx.connect_db(SERVER_NAME)
+    executed = 0
+    for line in ctx.read_text(path).splitlines():
+        statement = line.strip()
+        if statement:
+            client.execute(statement)
+            executed += 1
+    client.close()
+    return 0 if executed else 1
+
+
+def insert_step(ctx) -> int:
+    """Step 1: bulk-insert the refresh orders."""
+    return _run_statement_file(ctx, INSERT_FILE)
+
+
+def select_step(ctx) -> int:
+    """Step 2: run the workload query ``argv[1]`` times (default 10)."""
+    repetitions = int(ctx.argv[0]) if ctx.argv else 10
+    sql = ctx.read_text(QUERY_FILE).strip()
+    client = ctx.connect_db(SERVER_NAME)
+    for _ in range(repetitions):
+        result = client.execute(sql)
+        ctx.append_file(RESULT_FILE, f"{len(result.rows)}\n")
+    client.close()
+    return 0
+
+
+def update_step(ctx) -> int:
+    """Step 3: apply the order updates."""
+    return _run_statement_file(ctx, UPDATE_FILE)
+
+
+def app_main(ctx) -> int:
+    """The full three-step application (one process per step)."""
+    repetitions = ctx.argv[0] if ctx.argv else "10"
+    for binary, argv in ((INSERT_BINARY, []),
+                         (SELECT_BINARY, [repetitions]),
+                         (UPDATE_BINARY, [])):
+        child = ctx.spawn(binary, argv)
+        if child.exit_code != 0:
+            return child.exit_code
+    return 0
+
+
+PROGRAMS: dict[str, Callable] = {
+    APP_BINARY: app_main,
+    INSERT_BINARY: insert_step,
+    SELECT_BINARY: select_step,
+    UPDATE_BINARY: update_step,
+}
+
+
+@dataclass
+class BenchmarkWorld:
+    """A fully provisioned benchmark scenario."""
+
+    vos: VirtualOS
+    database: Database
+    server: DBServer
+    generator: TPCHGenerator
+    variant: QueryVariant
+    registry: dict[str, Callable] = field(default_factory=dict)
+    server_name: str = SERVER_NAME
+    server_binary_paths: list[str] = field(default_factory=list)
+    row_counts: dict[str, int] = field(default_factory=dict)
+
+
+def build_world(scale_factor: float = 0.001,
+                variant: QueryVariant | None = None,
+                insert_count: int = 50,
+                update_count: int = 10,
+                data_dir: str | Path | None = None,
+                seed: int | None = None) -> BenchmarkWorld:
+    """Provision the Section IX-A scenario.
+
+    ``data_dir`` gives the database an on-disk home (required for the
+    PTU baseline, whose package copies the full data files). Counts
+    default to 1/20 of the paper's (1000 inserts / 100 updates) so the
+    full 18-variant sweeps stay fast; benchmarks scale them up.
+    """
+    vos = VirtualOS()
+    database = Database(data_directory=data_dir, clock=vos.clock)
+    config = TPCHConfig(scale_factor=scale_factor,
+                        **({"seed": seed} if seed is not None else {}))
+    generator = TPCHGenerator(config)
+    row_counts = generator.generate_into(database)
+    if data_dir is not None:
+        database.checkpoint()
+    server = DBServer(database)
+    vos.register_db_server(SERVER_NAME, server.transport())
+
+    if variant is None:
+        variant = table2_variants(config)[0]  # Q1-1, as in Fig 7
+
+    # the "server binaries" that server-included packages ship
+    vos.fs.write_file(SERVER_BINARY,
+                      b"\x7fELF postgres+perm" + b"\0" * _SERVER_BINARY_SIZE,
+                      create_parents=True)
+    for library in SERVER_LIBS:
+        vos.fs.write_file(library,
+                          b"\x7fELF lib" + b"\0" * _SERVER_LIB_SIZE,
+                          create_parents=True)
+
+    # statement files the step programs consume
+    inserts = insert_statements(generator, insert_count,
+                                start_key=config.n_orders + 1)
+    updates = update_statements(generator, update_count)
+    vos.fs.write_file(INSERT_FILE, "\n".join(inserts) + "\n",
+                      create_parents=True)
+    vos.fs.write_file(UPDATE_FILE, "\n".join(updates) + "\n",
+                      create_parents=True)
+    vos.fs.write_file(QUERY_FILE, variant.sql + "\n", create_parents=True)
+
+    for binary, fn in PROGRAMS.items():
+        vos.register_program(binary, fn, size=64 << 10)
+
+    return BenchmarkWorld(
+        vos=vos, database=database, server=server, generator=generator,
+        variant=variant, registry=dict(PROGRAMS),
+        server_binary_paths=[SERVER_BINARY, *SERVER_LIBS],
+        row_counts=row_counts)
+
+
+def build_scenario():
+    """CLI entry point (``ldv-audit repro.workloads.app:build_scenario``)."""
+    from repro.core.cli import Scenario
+
+    world = build_world()
+    return Scenario(
+        vos=world.vos,
+        entry_binary=APP_BINARY,
+        registry=world.registry,
+        argv=["3"],
+        database=world.database,
+        server_name=world.server_name,
+        server_binary_paths=world.server_binary_paths)

@@ -1,0 +1,28 @@
+"""TPC-H substrate: schema, dbgen, Table II queries, refresh streams."""
+
+from repro.workloads.tpch.dbgen import TPCHConfig, TPCHGenerator
+from repro.workloads.tpch.queries import (
+    QueryVariant,
+    q1_sql,
+    q2_sql,
+    q3_sql,
+    q4_sql,
+    table2_variants,
+)
+from repro.workloads.tpch.refresh import (
+    insert_statements,
+    update_statements,
+)
+
+__all__ = [
+    "TPCHConfig",
+    "TPCHGenerator",
+    "QueryVariant",
+    "q1_sql",
+    "q2_sql",
+    "q3_sql",
+    "q4_sql",
+    "table2_variants",
+    "insert_statements",
+    "update_statements",
+]

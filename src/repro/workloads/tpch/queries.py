@@ -1,0 +1,112 @@
+"""The 18 query variants of Table II.
+
+Four query families sweep output-size/provenance-size ratios:
+
+* **Q1** — simple selection on lineitem; selectivity via
+  ``l_suppkey BETWEEN 1 AND p`` with p chosen for 1/2/5/10/25 % of
+  suppliers (the paper's params 10..250 against 1000 suppliers),
+* **Q2** — three-way join returning comments; selectivity via the
+  length of a zero-run in ``c_name LIKE '%00..0%'``,
+* **Q3** — the same join under ``count(*)`` (one result row, large
+  provenance — the extreme case of Fig 8b),
+* **Q4** — join + aggregation (average quantity per order), suppkey
+  selectivity sweep as in Q1.
+
+Variant ids follow the paper: ``Qi-j`` is family *i* with the *j*-th
+parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.tpch.dbgen import TPCHConfig
+
+# supplier-fraction sweeps for Q1/Q4 (Table II: 1%..25%)
+SUPPLIER_SELECTIVITIES = (0.01, 0.02, 0.05, 0.10, 0.25)
+# zero-run lengths for Q2/Q3 (Table II: 0000000 .. 0000)
+ZERO_RUNS = (7, 6, 5, 4)
+
+
+@dataclass(frozen=True)
+class QueryVariant:
+    """One Qi-j entry of Table II."""
+
+    query_id: str  # e.g. "Q1-3"
+    family: int
+    sql: str
+    selectivity: float  # fraction of the driving domain selected
+    param: str  # the PARAM column of Table II
+
+
+def q1_sql(param: int) -> str:
+    return ("SELECT l_quantity, l_partkey, l_extendedprice, l_shipdate, "
+            "l_receiptdate FROM lineitem "
+            f"WHERE l_suppkey BETWEEN 1 AND {param}")
+
+
+def q2_sql(zero_run: int) -> str:
+    pattern = "0" * zero_run
+    return ("SELECT o_comment, l_comment FROM lineitem l, orders o, "
+            "customer c WHERE l.l_orderkey = o.o_orderkey AND "
+            "o.o_custkey = c.c_custkey AND "
+            f"c.c_name LIKE '%{pattern}%'")
+
+
+def q3_sql(zero_run: int) -> str:
+    pattern = "0" * zero_run
+    return ("SELECT count(*) FROM lineitem l, orders o, customer c "
+            "WHERE l.l_orderkey = o.o_orderkey AND "
+            "o.o_custkey = c.c_custkey AND "
+            f"c.c_name LIKE '%{pattern}%'")
+
+
+def q4_sql(param: int) -> str:
+    return ("SELECT o_orderkey, AVG(l_quantity) AS avgQ "
+            "FROM lineitem l, orders o "
+            "WHERE l.l_orderkey = o.o_orderkey AND "
+            f"l_suppkey BETWEEN 1 AND {param} GROUP BY o_orderkey")
+
+
+def supplier_param(config: TPCHConfig, selectivity: float) -> int:
+    """The BETWEEN upper bound selecting ``selectivity`` of suppliers."""
+    return max(1, round(config.n_suppliers * selectivity))
+
+
+def zero_run_selectivity(config: TPCHConfig, zero_run: int) -> float:
+    """Fraction of customers whose padded name contains the run."""
+    width = config.customer_name_width
+    matching = min(config.n_customers,
+                   max(0, 10 ** (width - zero_run) - 1))
+    return matching / config.n_customers
+
+
+def table2_variants(config: TPCHConfig) -> list[QueryVariant]:
+    """All 18 variants, parameterized for the given scale."""
+    variants: list[QueryVariant] = []
+    for index, selectivity in enumerate(SUPPLIER_SELECTIVITIES, 1):
+        param = supplier_param(config, selectivity)
+        variants.append(QueryVariant(
+            f"Q1-{index}", 1, q1_sql(param), selectivity, str(param)))
+    for index, zero_run in enumerate(ZERO_RUNS, 1):
+        pattern = "0" * zero_run
+        selectivity = zero_run_selectivity(config, zero_run)
+        variants.append(QueryVariant(
+            f"Q2-{index}", 2, q2_sql(zero_run), selectivity, pattern))
+    for index, zero_run in enumerate(ZERO_RUNS, 1):
+        pattern = "0" * zero_run
+        selectivity = zero_run_selectivity(config, zero_run)
+        variants.append(QueryVariant(
+            f"Q3-{index}", 3, q3_sql(zero_run), selectivity, pattern))
+    for index, selectivity in enumerate(SUPPLIER_SELECTIVITIES, 1):
+        param = supplier_param(config, selectivity)
+        variants.append(QueryVariant(
+            f"Q4-{index}", 4, q4_sql(param), selectivity, str(param)))
+    return variants
+
+
+def variant_by_id(config: TPCHConfig, query_id: str) -> QueryVariant:
+    for variant in table2_variants(config):
+        if variant.query_id == query_id:
+            return variant
+    raise KeyError(f"no Table II variant named {query_id!r}")

@@ -1,0 +1,109 @@
+"""The TPC-H schema (TPC-H specification 2.x, all eight tables)."""
+
+from __future__ import annotations
+
+TPCH_DDL: dict[str, str] = {
+    "region": """
+        CREATE TABLE region (
+            r_regionkey integer PRIMARY KEY,
+            r_name text NOT NULL,
+            r_comment text)
+    """,
+    "nation": """
+        CREATE TABLE nation (
+            n_nationkey integer PRIMARY KEY,
+            n_name text NOT NULL,
+            n_regionkey integer NOT NULL,
+            n_comment text)
+    """,
+    "supplier": """
+        CREATE TABLE supplier (
+            s_suppkey integer PRIMARY KEY,
+            s_name text NOT NULL,
+            s_address text,
+            s_nationkey integer NOT NULL,
+            s_phone text,
+            s_acctbal double precision,
+            s_comment text)
+    """,
+    "part": """
+        CREATE TABLE part (
+            p_partkey integer PRIMARY KEY,
+            p_name text NOT NULL,
+            p_mfgr text,
+            p_brand text,
+            p_type text,
+            p_size integer,
+            p_container text,
+            p_retailprice double precision,
+            p_comment text)
+    """,
+    "partsupp": """
+        CREATE TABLE partsupp (
+            ps_partkey integer NOT NULL,
+            ps_suppkey integer NOT NULL,
+            ps_availqty integer,
+            ps_supplycost double precision,
+            ps_comment text)
+    """,
+    "customer": """
+        CREATE TABLE customer (
+            c_custkey integer PRIMARY KEY,
+            c_name text NOT NULL,
+            c_address text,
+            c_nationkey integer NOT NULL,
+            c_phone text,
+            c_acctbal double precision,
+            c_mktsegment text,
+            c_comment text)
+    """,
+    "orders": """
+        CREATE TABLE orders (
+            o_orderkey integer PRIMARY KEY,
+            o_custkey integer NOT NULL,
+            o_orderstatus text,
+            o_totalprice double precision,
+            o_orderdate date,
+            o_orderpriority text,
+            o_clerk text,
+            o_shippriority integer,
+            o_comment text)
+    """,
+    "lineitem": """
+        CREATE TABLE lineitem (
+            l_orderkey integer NOT NULL,
+            l_partkey integer NOT NULL,
+            l_suppkey integer NOT NULL,
+            l_linenumber integer NOT NULL,
+            l_quantity double precision,
+            l_extendedprice double precision,
+            l_discount double precision,
+            l_tax double precision,
+            l_returnflag text,
+            l_linestatus text,
+            l_shipdate date,
+            l_commitdate date,
+            l_receiptdate date,
+            l_shipinstruct text,
+            l_shipmode text,
+            l_comment text)
+    """,
+}
+
+# creation order respecting foreign-key-style references
+TABLE_ORDER = ["region", "nation", "supplier", "part", "partsupp",
+               "customer", "orders", "lineitem"]
+
+# hash indexes the workload benefits from (the Update step and the
+# reenactment queries are single-order point lookups)
+TPCH_INDEXES = [
+    "CREATE INDEX idx_orders_orderkey ON orders (o_orderkey)",
+]
+
+
+def create_all(database) -> None:
+    """Create every TPC-H table (and its indexes) in dependency order."""
+    for table in TABLE_ORDER:
+        database.execute(TPCH_DDL[table])
+    for index_ddl in TPCH_INDEXES:
+        database.execute(index_ddl)

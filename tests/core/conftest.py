@@ -1,0 +1,56 @@
+"""Shared fixtures: a small DB application world for core tests."""
+
+import pytest
+
+from repro.db import Database, DBServer
+from repro.vos import VirtualOS
+
+SERVER_BINARIES = ["/usr/lib/dbms/postgres", "/usr/lib/dbms/libperm.so"]
+
+
+def sales_app(ctx):
+    """Reads a file, inserts, queries, updates, writes results."""
+    ctx.read_text("/data/config.txt")
+    client = ctx.connect_db("main")
+    client.execute("INSERT INTO sales VALUES (100, 50.0, 'new')")
+    rows = client.execute(
+        "SELECT sum(price) FROM sales WHERE price > 10").rows
+    client.execute("UPDATE sales SET region = 'x' WHERE id = 2")
+    count = client.execute("SELECT count(*) FROM sales").rows
+    ctx.write_file("/data/report.txt", f"{rows[0][0]}|{count[0][0]}\n")
+    client.close()
+    return 0
+
+
+class World:
+    def __init__(self, data_dir=None):
+        self.vos = VirtualOS()
+        self.database = Database(data_directory=data_dir,
+                                 clock=self.vos.clock)
+        self.database.execute(
+            "CREATE TABLE sales (id integer PRIMARY KEY, "
+            "price float, region text)")
+        self.database.execute(
+            "INSERT INTO sales VALUES (1, 5, 'east'), (2, 11, 'west'), "
+            "(3, 14, 'west'), (4, 2, 'north')")
+        if data_dir is not None:
+            self.database.checkpoint()
+        self.server = DBServer(self.database)
+        self.vos.register_db_server("main", self.server.transport())
+        self.vos.fs.write_file("/data/config.txt", b"threshold=10\n",
+                               create_parents=True)
+        for path in SERVER_BINARIES:
+            self.vos.fs.write_file(path, b"\x7fELF" + b"\0" * 4096,
+                                   create_parents=True)
+        self.registry = {"/bin/app": sales_app}
+        self.vos.register_program("/bin/app", sales_app)
+
+
+@pytest.fixture
+def world(tmp_path):
+    return World(data_dir=tmp_path / "pgdata")
+
+
+@pytest.fixture
+def memory_world():
+    return World()

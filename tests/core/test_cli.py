@@ -1,0 +1,113 @@
+"""CLI front-end tests (ldv-audit / ldv-exec)."""
+
+import sys
+
+import pytest
+
+from repro.core.cli import Scenario, audit_main, exec_main, load_scenario
+from repro.errors import ReproError
+
+from tests.core.conftest import SERVER_BINARIES, World, sales_app
+
+# a module-level scenario factory the CLI can import by dotted path
+_CURRENT_WORLD = {}
+
+
+def cli_scenario():
+    world = World()
+    _CURRENT_WORLD["world"] = world
+    return Scenario(
+        vos=world.vos,
+        entry_binary="/bin/app",
+        registry=world.registry,
+        database=world.database,
+        server_name="main",
+        server_binary_paths=SERVER_BINARIES)
+
+
+SCENARIO_SPEC = f"{__name__}:cli_scenario"
+
+
+class TestLoadScenario:
+    def test_loads_by_dotted_path(self):
+        scenario = load_scenario(SCENARIO_SPEC)
+        assert isinstance(scenario, Scenario)
+        assert scenario.entry_binary == "/bin/app"
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(ReproError):
+            load_scenario("just.a.module")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ReproError):
+            load_scenario(f"{__name__}:does_not_exist")
+
+    def test_wrong_return_type_rejected(self):
+        with pytest.raises(ReproError):
+            load_scenario(f"{__name__}:SCENARIO_SPEC")
+
+
+class TestAuditCommand:
+    def test_audit_server_included(self, tmp_path, capsys):
+        code = audit_main([SCENARIO_SPEC, "--mode", "server-included",
+                           "--out", str(tmp_path / "pkg")])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "package:" in output
+        assert (tmp_path / "pkg" / "MANIFEST.json").exists()
+
+    def test_audit_server_excluded(self, tmp_path, capsys):
+        code = audit_main([SCENARIO_SPEC, "--mode", "server-excluded",
+                           "--out", str(tmp_path / "pkg")])
+        assert code == 0
+        assert (tmp_path / "pkg" / "replay" / "log.jsonl").exists()
+
+    def test_audit_bad_scenario_reports_error(self, tmp_path, capsys):
+        code = audit_main(["nope.module:factory",
+                           "--out", str(tmp_path / "pkg")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_audit_refuses_nonempty_out(self, tmp_path, capsys):
+        target = tmp_path / "pkg"
+        target.mkdir()
+        (target / "junk").write_text("x")
+        code = audit_main([SCENARIO_SPEC, "--out", str(target)])
+        assert code == 1
+
+
+class TestExecCommand:
+    @pytest.fixture
+    def package(self, tmp_path):
+        audit_main([SCENARIO_SPEC, "--mode", "server-excluded",
+                    "--out", str(tmp_path / "pkg")])
+        return tmp_path / "pkg"
+
+    def test_exec_replays_package(self, package, capsys):
+        code = exec_main([str(package), SCENARIO_SPEC])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "statements replayed" in output
+        assert "/data/report.txt" in output
+
+    def test_exec_missing_package_fails(self, tmp_path, capsys):
+        code = exec_main([str(tmp_path / "ghost"), SCENARIO_SPEC])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_exec_partial_with_allow_skip(self, tmp_path, capsys):
+        audit_main([SCENARIO_SPEC, "--mode", "server-excluded",
+                    "--out", str(tmp_path / "pkg")])
+        code = exec_main([str(tmp_path / "pkg"), SCENARIO_SPEC,
+                          "--binary", "/bin/app", "--allow-skip"])
+        assert code == 0
+
+    def test_entry_points_registered(self):
+        """setup.cfg wires the console scripts to these mains."""
+        import configparser
+        from pathlib import Path
+        parser = configparser.ConfigParser()
+        parser.read(Path(__file__).parents[2] / "setup.cfg")
+        scripts = parser["options.entry_points"]["console_scripts"]
+        assert "repro.core.cli:audit_main" in scripts
+        assert "repro.core.cli:exec_main" in scripts

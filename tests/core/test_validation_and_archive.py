@@ -1,0 +1,192 @@
+"""Output validation (digest checks) and package archiving tests."""
+
+import pytest
+
+from repro.core import ldv_audit, ldv_exec
+from repro.core.cli import audit_main, exec_main
+from repro.core.package import Package
+from repro.errors import PackageError
+
+from tests.core.conftest import SERVER_BINARIES
+
+
+class TestOutputValidation:
+    def test_digests_recorded_at_audit(self, memory_world, tmp_path):
+        world = memory_world
+        ldv_audit(world.vos, "/bin/app", tmp_path / "pkg",
+                  mode="server-excluded", database=world.database,
+                  server_name="main")
+        manifest = Package.load(tmp_path / "pkg").manifest
+        digests = manifest.notes["output_digests"]
+        assert "/data/report.txt" in digests
+        assert len(digests["/data/report.txt"]) == 64  # sha256 hex
+
+    def test_faithful_replay_validates(self, memory_world, tmp_path):
+        world = memory_world
+        ldv_audit(world.vos, "/bin/app", tmp_path / "pkg",
+                  mode="server-excluded", database=world.database,
+                  server_name="main")
+        result = ldv_exec(tmp_path / "pkg", world.registry)
+        assert result.output_matches["/data/report.txt"] is True
+        assert result.validated
+
+    def test_tampered_replay_log_fails_validation(self, memory_world,
+                                                  tmp_path):
+        world = memory_world
+        ldv_audit(world.vos, "/bin/app", tmp_path / "pkg",
+                  mode="server-excluded", database=world.database,
+                  server_name="main")
+        # tamper: swap a recorded result value in the log
+        log_path = tmp_path / "pkg" / "replay" / "log.jsonl"
+        log_path.write_text(
+            log_path.read_text().replace("[[75.0]]", "[[999.0]]"))
+        result = ldv_exec(tmp_path / "pkg", world.registry)
+        assert result.output_matches["/data/report.txt"] is False
+        assert not result.validated
+
+    def test_tampered_restore_csv_fails_validation(self, world,
+                                                   tmp_path):
+        ldv_audit(world.vos, "/bin/app", tmp_path / "pkg",
+                  mode="server-included", database=world.database,
+                  server_name="main",
+                  server_binary_paths=SERVER_BINARIES)
+        csv_path = tmp_path / "pkg" / "db" / "restore" / "sales.csv"
+        csv_path.write_text(csv_path.read_text().replace("11.0", "999.0"))
+        result = ldv_exec(tmp_path / "pkg", world.registry,
+                          scratch_dir=tmp_path / "scratch")
+        assert not result.validated
+
+    def test_validated_true_without_digests(self, memory_world,
+                                            tmp_path):
+        """Old packages (or baselines without digests) validate
+        vacuously."""
+        world = memory_world
+        ldv_audit(world.vos, "/bin/app", tmp_path / "pkg",
+                  mode="server-excluded", database=world.database,
+                  server_name="main")
+        package = Package.load(tmp_path / "pkg")
+        package.manifest.notes.pop("output_digests")
+        package.write_manifest()
+        result = ldv_exec(tmp_path / "pkg", world.registry)
+        assert result.validated
+        assert result.output_matches == {}
+
+    def test_cli_reports_validation_failure(self, tmp_path, capsys):
+        from tests.core.test_cli import SCENARIO_SPEC
+        audit_main([SCENARIO_SPEC, "--mode", "server-excluded",
+                    "--out", str(tmp_path / "pkg")])
+        log_path = tmp_path / "pkg" / "replay" / "log.jsonl"
+        log_path.write_text(
+            log_path.read_text().replace("[[75.0]]", "[[999.0]]"))
+        code = exec_main([str(tmp_path / "pkg"), SCENARIO_SPEC])
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "DIFFERS" in captured.out
+        assert "validation FAILED" in captured.err
+
+
+class TestArchives:
+    @pytest.fixture
+    def package_dir(self, memory_world, tmp_path):
+        world = memory_world
+        ldv_audit(world.vos, "/bin/app", tmp_path / "pkg",
+                  mode="server-excluded", database=world.database,
+                  server_name="main")
+        return tmp_path / "pkg", world
+
+    def test_archive_round_trip(self, package_dir, tmp_path):
+        pkg_path, world = package_dir
+        package = Package.load(pkg_path)
+        archive = package.archive(tmp_path / "share" / "pkg.tar.gz")
+        assert archive.exists()
+        restored = Package.from_archive(archive, tmp_path / "restored")
+        assert restored.manifest == package.manifest
+        result = ldv_exec(tmp_path / "restored", world.registry)
+        assert result.validated
+
+    def test_archive_excludes_scratch_state(self, world, tmp_path):
+        ldv_audit(world.vos, "/bin/app", tmp_path / "pkg",
+                  mode="server-included", database=world.database,
+                  server_name="main",
+                  server_binary_paths=SERVER_BINARIES)
+        # create runtime scratch inside the package, as ldv_exec does
+        ldv_exec(tmp_path / "pkg", world.registry)
+        package = Package.load(tmp_path / "pkg")
+        assert (tmp_path / "pkg" / ".runtime").exists()
+        archive = package.archive(tmp_path / "pkg.tar.gz")
+        restored = Package.from_archive(archive, tmp_path / "clean")
+        assert not (tmp_path / "clean" / ".runtime").exists()
+
+    def test_from_archive_refuses_nonempty_target(self, package_dir,
+                                                  tmp_path):
+        pkg_path, _world = package_dir
+        archive = Package.load(pkg_path).archive(tmp_path / "a.tar.gz")
+        target = tmp_path / "busy"
+        target.mkdir()
+        (target / "junk").write_text("x")
+        with pytest.raises(PackageError):
+            Package.from_archive(archive, target)
+
+    def test_from_archive_rejects_garbage(self, tmp_path):
+        garbage = tmp_path / "not-a-package.tar.gz"
+        garbage.write_bytes(b"definitely not gzip")
+        with pytest.raises(PackageError):
+            Package.from_archive(garbage, tmp_path / "out")
+
+    def test_archive_smaller_than_directory(self, package_dir,
+                                            tmp_path):
+        pkg_path, _world = package_dir
+        package = Package.load(pkg_path)
+        archive = package.archive(tmp_path / "pkg.tar.gz")
+        assert archive.stat().st_size < package.total_bytes()
+
+
+class TestExplain:
+    @pytest.fixture
+    def db(self):
+        from repro.db import Database
+        database = Database()
+        database.execute("CREATE TABLE a (x integer, y float)")
+        database.execute("CREATE TABLE b (x integer, z text)")
+        return database
+
+    def test_explain_returns_plan_rows(self, db):
+        result = db.execute("EXPLAIN SELECT * FROM a WHERE x > 1")
+        assert result.kind == "explain"
+        text = "\n".join(row[0] for row in result.rows)
+        assert "SeqScan on a" in text
+        assert "Filter" in text
+
+    def test_explain_shows_hash_join(self, db):
+        result = db.execute(
+            "EXPLAIN SELECT 1 FROM a, b WHERE a.x = b.x")
+        text = "\n".join(row[0] for row in result.rows)
+        assert "HashJoin" in text
+
+    def test_explain_shows_aggregate(self, db):
+        result = db.execute(
+            "EXPLAIN SELECT x, count(*) FROM a GROUP BY x "
+            "ORDER BY x LIMIT 2")
+        text = "\n".join(row[0] for row in result.rows)
+        assert "GroupAggregate" in text
+        assert "Sort" in text
+        assert "Limit" in text
+
+    def test_explain_does_not_execute(self, db):
+        db.execute("INSERT INTO a VALUES (1, 1.0)")
+        db.execute("EXPLAIN SELECT * FROM a")
+        assert db.query("SELECT count(*) FROM a") == [(1,)]
+
+    def test_explain_render_round_trip(self):
+        from repro.db.sql.parser import parse_one
+        from repro.db.sql.render import render_statement
+        tree = parse_one("EXPLAIN SELECT x FROM a WHERE x > 1")
+        assert parse_one(render_statement(tree)) == tree
+
+    def test_explain_through_client(self, db):
+        from repro.db import DBClient, DBServer
+        client = DBClient(DBServer(db).transport())
+        client.connect()
+        rows = client.query("EXPLAIN SELECT * FROM a")
+        assert rows
+        client.close()

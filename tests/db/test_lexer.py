@@ -1,0 +1,112 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.db.sql.lexer import Token, TokenKind, tokenize
+from repro.errors import SQLSyntaxError
+
+
+def kinds(sql):
+    return [token.kind for token in tokenize(sql)[:-1]]
+
+
+def texts(sql):
+    return [token.text for token in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        assert texts("SELECT select SeLeCt") == ["select"] * 3
+
+    def test_identifier_preserves_case(self):
+        tokens = tokenize("lineitem L_SuppKey")
+        assert tokens[0].text == "lineitem"
+        assert tokens[1].text == "L_SuppKey"
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INTEGER
+        assert token.text == "42"
+
+    def test_float_literals(self):
+        assert tokenize("3.14")[0].kind is TokenKind.FLOAT
+        assert tokenize("1e5")[0].kind is TokenKind.FLOAT
+        assert tokenize("2.5e-3")[0].kind is TokenKind.FLOAT
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.text == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.text == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].text == ""
+
+    def test_quoted_identifier(self):
+        token = tokenize('"Order Table"')[0]
+        assert token.kind is TokenKind.IDENTIFIER
+        assert token.text == "Order Table"
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+        assert tokenize("select")[-1].kind is TokenKind.EOF
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<>", "!=", "<=", ">=", "=", "<", ">",
+                                    "+", "-", "*", "/", "%", "||"])
+    def test_operator(self, op):
+        token = tokenize(op)[0]
+        assert token.kind is TokenKind.OPERATOR
+        assert token.text == op
+
+    def test_multi_char_operator_not_split(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+
+    def test_punctuation(self):
+        assert [t.kind for t in tokenize(",().;")[:-1]] == (
+            [TokenKind.PUNCT] * 5)
+
+
+class TestCommentsAndErrors:
+    def test_line_comment_skipped(self):
+        assert texts("select -- comment\n 1") == ["select", "1"]
+
+    def test_comment_at_end_of_input(self):
+        assert texts("select 1 -- done") == ["select", "1"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_identifier_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('"oops')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select @")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SQLSyntaxError) as info:
+            tokenize("ab #")
+        assert info.value.position == 3
+
+
+class TestRealisticStatements:
+    def test_tpch_query_tokenizes(self):
+        sql = ("SELECT l_quantity, l_partkey FROM lineitem "
+               "WHERE l_suppkey BETWEEN 1 AND 250")
+        tokens = tokenize(sql)
+        assert tokens[-1].kind is TokenKind.EOF
+        assert "between" in [t.text for t in tokens]
+
+    def test_number_adjacent_to_keyword(self):
+        assert texts("limit 10") == ["limit", "10"]
+
+    def test_dotted_reference(self):
+        assert texts("l.l_orderkey") == ["l", ".", "l_orderkey"]

@@ -1,0 +1,229 @@
+"""Planner tests: pushdown, join strategy selection, star expansion,
+ORDER BY handling, and output-type inference."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.catalog import Catalog
+from repro.db.executor import (
+    Filter,
+    GroupAggregate,
+    HashJoin,
+    NestedLoopJoin,
+    Project,
+    SeqScan,
+    Sort,
+    StripColumns,
+)
+from repro.db.planner import (
+    conjoin,
+    derive_column_name,
+    infer_type,
+    plan_select,
+    split_conjuncts,
+)
+from repro.db.sql.parser import parse_expression, parse_one
+from repro.db.types import SQLType
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE a (x integer, y float, s text)")
+    database.execute("CREATE TABLE b (x integer, z text)")
+    database.execute("INSERT INTO a VALUES (1, 1.5, 'p'), (2, 2.5, 'q')")
+    database.execute("INSERT INTO b VALUES (1, 'one'), (3, 'three')")
+    return database
+
+
+def plan(db, sql):
+    return plan_select(parse_one(sql), db.catalog)
+
+
+def operators_in(root):
+    """Flatten the operator tree."""
+    found = [root]
+    for attr in ("child", "left", "right"):
+        node = getattr(root, attr, None)
+        if node is not None:
+            found.extend(operators_in(node))
+    return found
+
+
+class TestConjuncts:
+    def test_split_flattens_ands(self):
+        conjuncts = split_conjuncts(parse_expression("a = 1 AND b = 2 AND c = 3"))
+        assert len(conjuncts) == 3
+
+    def test_split_keeps_or_whole(self):
+        conjuncts = split_conjuncts(parse_expression("a = 1 OR b = 2"))
+        assert len(conjuncts) == 1
+
+    def test_split_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_conjoin_inverse(self):
+        original = parse_expression("a = 1 AND b = 2")
+        assert conjoin(split_conjuncts(original)) == original
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+
+class TestJoinPlanning:
+    def test_equi_join_uses_hash_join(self, db):
+        planned = plan(db, "SELECT 1 FROM a, b WHERE a.x = b.x")
+        kinds = [type(op) for op in operators_in(planned.root)]
+        assert HashJoin in kinds
+        assert NestedLoopJoin not in kinds
+
+    def test_no_predicate_uses_cross_join(self, db):
+        planned = plan(db, "SELECT 1 FROM a, b")
+        kinds = [type(op) for op in operators_in(planned.root)]
+        assert NestedLoopJoin in kinds
+
+    def test_explicit_join_on_equi(self, db):
+        planned = plan(db, "SELECT 1 FROM a JOIN b ON a.x = b.x")
+        assert any(isinstance(op, HashJoin)
+                   for op in operators_in(planned.root))
+
+    def test_non_equi_join_on_falls_back(self, db):
+        planned = plan(db, "SELECT 1 FROM a JOIN b ON a.x < b.x")
+        assert any(isinstance(op, NestedLoopJoin)
+                   for op in operators_in(planned.root))
+
+    def test_single_table_filter_pushed_below_join(self, db):
+        planned = plan(
+            db, "SELECT 1 FROM a, b WHERE a.x = b.x AND a.y > 2")
+        joins = [op for op in operators_in(planned.root)
+                 if isinstance(op, HashJoin)]
+        assert joins
+        # the filter must appear below the join, not above it
+        below = operators_in(joins[0])
+        assert any(isinstance(op, Filter) for op in below)
+
+    def test_constant_filter_pushed_to_first_fragment(self, db):
+        planned = plan(db, "SELECT 1 FROM a, b WHERE 1 = 0")
+        joins = [op for op in operators_in(planned.root)
+                 if isinstance(op, NestedLoopJoin)]
+        below_left = operators_in(joins[0].left)
+        assert any(isinstance(op, Filter) for op in below_left)
+        assert planned.root.schema is not None
+        assert list(planned.root) == []  # and it short-circuits
+
+    def test_three_way_greedy_ordering(self, db):
+        db.execute("CREATE TABLE c (z text, w integer)")
+        planned = plan(
+            db, "SELECT 1 FROM a, c, b WHERE a.x = b.x AND b.z = c.z")
+        kinds = [type(op) for op in operators_in(planned.root)]
+        # both joins become hash joins despite c being listed between
+        assert kinds.count(HashJoin) == 2
+        assert NestedLoopJoin not in kinds
+
+    def test_source_tables_recorded(self, db):
+        planned = plan(db, "SELECT 1 FROM a, b")
+        assert planned.source_tables == ["a", "b"]
+
+
+class TestProjectionAndAggregation:
+    def test_star_expansion(self, db):
+        planned = plan(db, "SELECT * FROM a")
+        assert planned.schema.column_names() == ["x", "y", "s"]
+
+    def test_qualified_star(self, db):
+        planned = plan(db, "SELECT b.* FROM a, b WHERE a.x = b.x")
+        assert planned.schema.column_names() == ["x", "z"]
+
+    def test_unknown_star_qualifier(self, db):
+        with pytest.raises(ExecutionError):
+            plan(db, "SELECT ghost.* FROM a")
+
+    def test_aggregate_detection(self, db):
+        planned = plan(db, "SELECT sum(x) FROM a")
+        assert any(isinstance(op, GroupAggregate)
+                   for op in operators_in(planned.root))
+
+    def test_plain_select_uses_project(self, db):
+        planned = plan(db, "SELECT x + 1 FROM a")
+        kinds = [type(op) for op in operators_in(planned.root)]
+        assert Project in kinds
+        assert GroupAggregate not in kinds
+
+    def test_column_naming(self, db):
+        planned = plan(db, "SELECT x, x AS renamed, x + 1, count(*) "
+                           "FROM a GROUP BY x")
+        assert planned.schema.column_names() == [
+            "x", "renamed", "column3", "count"]
+
+    def test_derive_column_name(self):
+        assert derive_column_name(parse_expression("foo"), 0) == "foo"
+        assert derive_column_name(parse_expression("sum(x)"), 1) == "sum"
+        assert derive_column_name(parse_expression("1 + 2"), 2) == "column3"
+
+
+class TestOrderByPlanning:
+    def test_sort_on_projected_column(self, db):
+        planned = plan(db, "SELECT x FROM a ORDER BY x")
+        kinds = [type(op) for op in operators_in(planned.root)]
+        assert Sort in kinds
+        assert StripColumns not in kinds  # no hidden column needed
+
+    def test_hidden_sort_column_added_and_stripped(self, db):
+        planned = plan(db, "SELECT s FROM a ORDER BY y DESC")
+        kinds = [type(op) for op in operators_in(planned.root)]
+        assert StripColumns in kinds
+        assert planned.schema.column_names() == ["s"]
+        assert [row for row, _lin in planned.root] == [("q",), ("p",)]
+
+    def test_order_by_alias(self, db):
+        planned = plan(db, "SELECT y AS v FROM a ORDER BY v DESC")
+        assert [row for row, _lin in planned.root] == [(2.5,), (1.5,)]
+
+    def test_order_by_position(self, db):
+        planned = plan(db, "SELECT s, y FROM a ORDER BY 2 DESC")
+        assert [row[0] for row, _lin in planned.root] == ["q", "p"]
+
+
+class TestTypeInference:
+    @pytest.fixture
+    def schema(self, db):
+        return plan(db, "SELECT * FROM a").schema
+
+    @pytest.mark.parametrize("text,expected", [
+        ("1", SQLType.INTEGER),
+        ("1.5", SQLType.FLOAT),
+        ("'x'", SQLType.TEXT),
+        ("TRUE", SQLType.BOOLEAN),
+        ("x", SQLType.INTEGER),
+        ("y", SQLType.FLOAT),
+        ("x + 1", SQLType.INTEGER),
+        ("x + y", SQLType.FLOAT),
+        ("x / 2", SQLType.INTEGER),
+        ("x > 1", SQLType.BOOLEAN),
+        ("x BETWEEN 1 AND 2", SQLType.BOOLEAN),
+        ("s LIKE 'a%'", SQLType.BOOLEAN),
+        ("s || 'x'", SQLType.TEXT),
+        ("count(*)", SQLType.INTEGER),
+        ("avg(x)", SQLType.FLOAT),
+        ("sum(y)", SQLType.FLOAT),
+        ("min(s)", SQLType.TEXT),
+        ("length(s)", SQLType.INTEGER),
+        ("upper(s)", SQLType.TEXT),
+        ("coalesce(y, 0)", SQLType.FLOAT),
+        ("-x", SQLType.INTEGER),
+        ("NOT TRUE", SQLType.BOOLEAN),
+        ("CASE WHEN x > 1 THEN 'a' ELSE 'b' END", SQLType.TEXT),
+    ])
+    def test_infer(self, schema, text, expected):
+        assert infer_type(parse_expression(text), schema) is expected
+
+    def test_unknown_column_defaults_to_text(self, schema):
+        assert infer_type(parse_expression("ghost"),
+                          schema) is SQLType.TEXT
+
+    def test_result_schema_types_flow_to_csv(self, db):
+        """Types drive result-set serialization round trips."""
+        planned = plan(db, "SELECT x + 1, y * 2, s FROM a")
+        assert planned.schema.types() == [
+            SQLType.INTEGER, SQLType.FLOAT, SQLType.TEXT]

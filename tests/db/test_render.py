@@ -1,0 +1,208 @@
+"""AST → SQL rendering tests, including parse/render round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.sql import ast
+from repro.db.sql.parser import parse_expression, parse_one
+from repro.db.sql.render import (
+    render_expression,
+    render_literal,
+    render_statement,
+)
+
+
+def round_trip_expression(text):
+    """parse -> render -> parse must be a fixed point."""
+    tree = parse_expression(text)
+    rendered = render_expression(tree)
+    assert parse_expression(rendered) == tree
+    return rendered
+
+
+def round_trip_statement(text):
+    tree = parse_one(text)
+    rendered = render_statement(tree)
+    assert parse_one(rendered) == tree
+    return rendered
+
+
+class TestLiterals:
+    def test_null(self):
+        assert render_literal(None) == "NULL"
+
+    def test_booleans(self):
+        assert render_literal(True) == "TRUE"
+        assert render_literal(False) == "FALSE"
+
+    def test_numbers(self):
+        assert render_literal(42) == "42"
+        assert render_literal(2.5) == "2.5"
+
+    def test_string_escaping(self):
+        assert render_literal("it's") == "'it''s'"
+
+
+class TestExpressionRoundTrips:
+    @pytest.mark.parametrize("text", [
+        "1 + 2 * 3",
+        "(1 + 2) * 3",
+        "-x + 1",
+        "NOT a AND b",
+        "NOT (a AND b)",
+        "a OR b AND c",
+        "(a OR b) AND c",
+        "x BETWEEN 1 AND 10",
+        "x NOT BETWEEN lo AND hi",
+        "name LIKE '%abc_'",
+        "name NOT LIKE 'x%'",
+        "x IN (1, 2, 3)",
+        "x NOT IN ('a', 'b')",
+        "x IS NULL",
+        "x IS NOT NULL",
+        "count(*)",
+        "count(DISTINCT region)",
+        "sum(price * (1 - discount))",
+        "coalesce(a, b, 0)",
+        "t.col + u.col",
+        "a || b || 'x'",
+        "CASE WHEN a > 1 THEN 'big' ELSE 'small' END",
+        "CASE WHEN a THEN 1 WHEN b THEN 2 END",
+        "x BETWEEN 1 AND 2 AND y = 3",
+        "1 - (2 - 3)",
+        "1 - 2 - 3",
+        "8 / 4 / 2",
+        "8 / (4 / 2)",
+    ])
+    def test_round_trip(self, text):
+        round_trip_expression(text)
+
+    def test_precedence_preserved_semantically(self):
+        # the classic: rendering must not flatten parenthesized
+        # right-associative groupings of non-associative operators
+        tree = parse_expression("10 - (4 - 3)")
+        rendered = render_expression(tree)
+        assert parse_expression(rendered) == tree
+
+
+class TestStatementRoundTrips:
+    @pytest.mark.parametrize("text", [
+        "SELECT a, b AS x FROM t WHERE a > 1",
+        "SELECT * FROM t",
+        "SELECT t.* FROM t",
+        "SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 3 OFFSET 1",
+        "SELECT PROVENANCE a FROM t",
+        "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2",
+        "SELECT 1 FROM a, b, c WHERE a.x = b.x AND b.y = c.y",
+        "SELECT 1 FROM a JOIN b ON a.x = b.x",
+        "SELECT 1 FROM a LEFT JOIN b ON a.x = b.x",
+        "SELECT 1 FROM a CROSS JOIN b",
+        "SELECT 1 FROM lineitem l, orders o WHERE l.l_orderkey = "
+        "o.o_orderkey AND l_suppkey BETWEEN 1 AND 10",
+        "INSERT INTO t VALUES (1, 'x'), (2, NULL)",
+        "INSERT INTO t (a, b) VALUES (1, 2)",
+        "INSERT INTO t SELECT a FROM s WHERE a > 0",
+        "UPDATE t SET a = a + 1, b = 'z' WHERE id = 3",
+        "UPDATE t SET a = 1",
+        "DELETE FROM t WHERE id = 1",
+        "DELETE FROM t",
+        "CREATE TABLE t (id integer PRIMARY KEY, name text NOT NULL, "
+        "price float)",
+        "DROP TABLE IF EXISTS t",
+        "COPY t FROM '/data/in.csv' WITH CSV HEADER",
+        "COPY t TO '/data/out.csv' WITH CSV",
+        "BEGIN", "COMMIT", "ROLLBACK",
+    ])
+    def test_round_trip(self, text):
+        round_trip_statement(text)
+
+    def test_table2_queries_round_trip(self):
+        from repro.workloads.tpch.dbgen import TPCHConfig
+        from repro.workloads.tpch.queries import table2_variants
+        for variant in table2_variants(TPCHConfig(scale_factor=0.001)):
+            round_trip_statement(variant.sql)
+
+
+# -- hypothesis: generated expression trees survive render/parse -------------
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth > 3:
+        return draw(atoms())
+    choice = draw(st.integers(0, 7))
+    if choice <= 1:
+        return draw(atoms())
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*", "/", "and", "or",
+                                   "=", "<", ">=", "||"]))
+        return ast.BinaryOp(op, draw(expressions(depth=depth + 1)),
+                            draw(expressions(depth=depth + 1)))
+    if choice == 3:
+        op = draw(st.sampled_from(["-", "not"]))
+        return ast.UnaryOp(op, draw(expressions(depth=depth + 1)))
+    if choice == 4:
+        return ast.Between(draw(expressions(depth=depth + 1)),
+                           draw(atoms()), draw(atoms()),
+                           draw(st.booleans()))
+    if choice == 5:
+        return ast.InList(draw(expressions(depth=depth + 1)),
+                          tuple(draw(st.lists(atoms(), min_size=1,
+                                              max_size=3))),
+                          draw(st.booleans()))
+    if choice == 6:
+        return ast.IsNull(draw(expressions(depth=depth + 1)),
+                          draw(st.booleans()))
+    name = draw(st.sampled_from(["sum", "min", "upper", "length"]))
+    return ast.FunctionCall(name, (draw(expressions(depth=depth + 1)),))
+
+
+@st.composite
+def atoms(draw):
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return ast.Literal(draw(st.integers(-1000, 1000)))
+    if kind == 1:
+        return ast.Literal(draw(st.sampled_from(
+            [None, True, False, "abc", "o'brien", ""])))
+    if kind == 2:
+        return ast.ColumnRef(draw(st.sampled_from(["a", "b", "col3"])))
+    return ast.ColumnRef("x", qualifier=draw(st.sampled_from(["t", "u"])))
+
+
+def _fold_negatives(tree):
+    """Apply the parser's unary-minus folding so structurally distinct
+    but semantically identical trees compare equal."""
+    if isinstance(tree, ast.UnaryOp):
+        operand = _fold_negatives(tree.operand)
+        if (tree.op == "-" and isinstance(operand, ast.Literal)
+                and isinstance(operand.value, (int, float))
+                and not isinstance(operand.value, bool)):
+            return ast.Literal(-operand.value)
+        return ast.UnaryOp(tree.op, operand)
+    if isinstance(tree, ast.BinaryOp):
+        return ast.BinaryOp(tree.op, _fold_negatives(tree.left),
+                            _fold_negatives(tree.right))
+    if isinstance(tree, ast.Between):
+        return ast.Between(_fold_negatives(tree.operand),
+                           _fold_negatives(tree.low),
+                           _fold_negatives(tree.high), tree.negated)
+    if isinstance(tree, ast.InList):
+        return ast.InList(_fold_negatives(tree.operand),
+                          tuple(_fold_negatives(item)
+                                for item in tree.items), tree.negated)
+    if isinstance(tree, ast.IsNull):
+        return ast.IsNull(_fold_negatives(tree.operand), tree.negated)
+    if isinstance(tree, ast.FunctionCall):
+        return ast.FunctionCall(tree.name,
+                                tuple(_fold_negatives(arg)
+                                      for arg in tree.args),
+                                tree.distinct)
+    return tree
+
+
+class TestRenderProperty:
+    @given(expressions())
+    def test_render_parse_fixed_point(self, tree):
+        rendered = render_expression(tree)
+        assert parse_expression(rendered) == _fold_negatives(tree)

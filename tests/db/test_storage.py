@@ -1,0 +1,174 @@
+"""Versioned heap storage and data-directory persistence tests."""
+
+import pytest
+
+from repro.db.storage import DataDirectory, HeapTable
+from repro.db.types import Column, Schema, SQLType
+from repro.errors import CatalogError, ExecutionError, IntegrityError, TypeError_
+
+SCHEMA = Schema([
+    Column("id", SQLType.INTEGER, primary_key=True, not_null=True),
+    Column("name", SQLType.TEXT),
+    Column("price", SQLType.FLOAT),
+])
+
+
+def make_table():
+    table = HeapTable("items", SCHEMA)
+    table.insert((1, "apple", 1.5), tick=10)
+    table.insert((2, "pear", 2.0), tick=10)
+    return table
+
+
+class TestHeapTable:
+    def test_insert_assigns_sequential_rowids(self):
+        table = make_table()
+        assert [rowid for rowid, _ in table.scan()] == [1, 2]
+
+    def test_insert_stamps_version(self):
+        table = make_table()
+        assert table.version_of(1) == 10
+
+    def test_update_bumps_version(self):
+        table = make_table()
+        table.update(1, (1, "apple", 9.9), tick=20)
+        assert table.version_of(1) == 20
+        assert table.get(1)[2] == 9.9
+
+    def test_delete_removes_row(self):
+        table = make_table()
+        table.delete(1)
+        assert table.row_count == 1
+        with pytest.raises(ExecutionError):
+            table.get(1)
+
+    def test_delete_unknown_rowid_raises(self):
+        with pytest.raises(ExecutionError):
+            make_table().delete(99)
+
+    def test_primary_key_rejects_duplicates(self):
+        table = make_table()
+        with pytest.raises(IntegrityError):
+            table.insert((1, "dup", 0.0), tick=11)
+
+    def test_primary_key_allows_reuse_after_delete(self):
+        table = make_table()
+        table.delete(1)
+        table.insert((1, "again", 0.0), tick=12)
+        assert table.row_count == 2
+
+    def test_update_to_conflicting_pk_raises(self):
+        table = make_table()
+        with pytest.raises(IntegrityError):
+            table.update(1, (2, "x", 0.0), tick=13)
+
+    def test_update_pk_change_reindexes(self):
+        table = make_table()
+        table.update(1, (5, "apple", 1.5), tick=13)
+        table.insert((1, "new", 0.0), tick=14)  # old key free again
+        assert table.row_count == 3
+
+    def test_not_null_enforced(self):
+        table = make_table()
+        with pytest.raises(TypeError_):
+            table.insert((None, "x", 1.0), tick=15)
+
+    def test_type_coercion_on_insert(self):
+        table = make_table()
+        rowid = table.insert((3, "kiwi", 2), tick=16)  # int -> float
+        assert table.get(rowid)[2] == 2.0
+        assert isinstance(table.get(rowid)[2], float)
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(TypeError_):
+            make_table().insert((1, "x"), tick=17)
+
+    def test_truncate_keeps_rowid_counter(self):
+        table = make_table()
+        table.truncate()
+        assert table.row_count == 0
+        assert table.insert((9, "z", 0.0), tick=18) == 3
+
+    def test_invalid_table_name_rejected(self):
+        with pytest.raises(CatalogError):
+            HeapTable("bad name", SCHEMA)
+
+
+class TestSerialization:
+    def test_round_trip_preserves_rows_and_versions(self):
+        table = make_table()
+        table.update(2, (2, "pear", 3.5), tick=30)
+        restored = HeapTable.deserialize(table.serialize())
+        assert dict(restored.scan()) == dict(table.scan())
+        assert restored.versions == table.versions
+        assert restored.next_rowid == table.next_rowid
+
+    def test_round_trip_preserves_schema(self):
+        restored = HeapTable.deserialize(make_table().serialize())
+        assert restored.schema == SCHEMA
+        assert restored.schema.columns[0].primary_key
+
+    def test_round_trip_null_values(self):
+        table = HeapTable("t", Schema([Column("a", SQLType.INTEGER),
+                                       Column("b", SQLType.TEXT)]))
+        table.insert((None, None), tick=1)
+        restored = HeapTable.deserialize(table.serialize())
+        assert restored.get(1) == (None, None)
+
+    def test_round_trip_text_with_commas_and_quotes(self):
+        table = HeapTable("t", Schema([Column("s", SQLType.TEXT)]))
+        table.insert(('a,"b",c\nd',), tick=1)
+        restored = HeapTable.deserialize(table.serialize())
+        assert restored.get(1) == ('a,"b",c\nd',)
+
+    def test_pk_index_rebuilt_after_load(self):
+        restored = HeapTable.deserialize(make_table().serialize())
+        with pytest.raises(IntegrityError):
+            restored.insert((1, "dup", 0.0), tick=40)
+
+    def test_missing_header_raises(self):
+        with pytest.raises(CatalogError):
+            HeapTable.deserialize("no newline here")
+
+
+class TestDataDirectory:
+    def test_save_and_load(self, tmp_path):
+        directory = DataDirectory(tmp_path / "data")
+        table = make_table()
+        directory.save_table(table)
+        loaded = directory.load_table("items")
+        assert dict(loaded.scan()) == dict(table.scan())
+
+    def test_table_names_sorted(self, tmp_path):
+        directory = DataDirectory(tmp_path)
+        for name in ("zeta", "alpha"):
+            directory.save_table(HeapTable(name, SCHEMA))
+        assert directory.table_names() == ["alpha", "zeta"]
+
+    def test_drop_table_removes_file(self, tmp_path):
+        directory = DataDirectory(tmp_path)
+        directory.save_table(make_table())
+        directory.drop_table("items")
+        assert directory.table_names() == []
+
+    def test_load_missing_table_raises(self, tmp_path):
+        with pytest.raises(CatalogError):
+            DataDirectory(tmp_path).load_table("ghost")
+
+    def test_total_bytes_counts_files(self, tmp_path):
+        directory = DataDirectory(tmp_path)
+        assert directory.total_bytes() == 0
+        directory.save_table(make_table())
+        assert directory.total_bytes() > 0
+
+    def test_bigger_table_uses_more_bytes(self, tmp_path):
+        directory = DataDirectory(tmp_path)
+        small = HeapTable("small", SCHEMA)
+        big = HeapTable("big", SCHEMA)
+        small.insert((1, "x", 1.0), tick=1)
+        for i in range(100):
+            big.insert((i, "y" * 20, float(i)), tick=1)
+        directory.save_table(small)
+        before = directory.total_bytes()
+        directory.save_table(big)
+        assert directory.total_bytes() > before * 10

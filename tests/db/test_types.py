@@ -1,0 +1,137 @@
+"""Value types, coercion, and Schema resolution tests."""
+
+import pytest
+
+from repro.db.types import (
+    Column,
+    Schema,
+    SQLType,
+    coerce_row,
+    coerce_value,
+    value_from_csv,
+    value_to_csv,
+)
+from repro.errors import CatalogError, TypeError_
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize("name,expected", [
+        ("integer", SQLType.INTEGER),
+        ("INT", SQLType.INTEGER),
+        ("bigint", SQLType.INTEGER),
+        ("serial", SQLType.INTEGER),
+        ("float", SQLType.FLOAT),
+        ("double precision", SQLType.FLOAT),
+        ("decimal(15,2)", SQLType.FLOAT),
+        ("numeric", SQLType.FLOAT),
+        ("text", SQLType.TEXT),
+        ("varchar(25)", SQLType.TEXT),
+        ("character varying", SQLType.TEXT),
+        ("boolean", SQLType.BOOLEAN),
+        ("date", SQLType.DATE),
+    ])
+    def test_aliases(self, name, expected):
+        assert SQLType.from_name(name) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError_):
+            SQLType.from_name("blob")
+
+
+class TestCoercion:
+    def test_null_passes_any_type(self):
+        for sql_type in SQLType:
+            assert coerce_value(None, sql_type) is None
+
+    def test_integer_accepts_integral_float(self):
+        assert coerce_value(3.0, SQLType.INTEGER) == 3
+
+    def test_integer_rejects_fractional(self):
+        with pytest.raises(TypeError_):
+            coerce_value(3.5, SQLType.INTEGER)
+
+    def test_float_widens_int(self):
+        value = coerce_value(3, SQLType.FLOAT)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            coerce_value(True, SQLType.FLOAT)
+
+    def test_text_rejects_numbers(self):
+        with pytest.raises(TypeError_):
+            coerce_value(42, SQLType.TEXT)
+
+    def test_boolean_accepts_int_and_text_forms(self):
+        assert coerce_value(1, SQLType.BOOLEAN) is True
+        assert coerce_value("false", SQLType.BOOLEAN) is False
+        with pytest.raises(TypeError_):
+            coerce_value(2, SQLType.BOOLEAN)
+
+    def test_date_validates_shape(self):
+        assert coerce_value("1998-12-31", SQLType.DATE) == "1998-12-31"
+        for bad in ("1998-13-01", "1998-1-1", "not a date"):
+            with pytest.raises(TypeError_):
+                coerce_value(bad, SQLType.DATE)
+
+    def test_csv_round_trip_by_type(self):
+        cases = [(SQLType.INTEGER, -42), (SQLType.FLOAT, 2.5),
+                 (SQLType.TEXT, "a,b"), (SQLType.BOOLEAN, True),
+                 (SQLType.DATE, "1995-06-01")]
+        for sql_type, value in cases:
+            assert value_from_csv(value_to_csv(value), sql_type) == value
+
+    def test_csv_null_is_empty_string(self):
+        assert value_to_csv(None) == ""
+        assert value_from_csv("", SQLType.INTEGER) is None
+
+
+class TestSchema:
+    @pytest.fixture
+    def schema(self):
+        return Schema([Column("a", SQLType.INTEGER),
+                       Column("b", SQLType.TEXT)])
+
+    def test_index_of_unqualified(self, schema):
+        assert schema.index_of("a") == 0
+        assert schema.index_of("B") == 1  # case-insensitive
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(CatalogError):
+            schema.index_of("c")
+
+    def test_qualified_lookup(self, schema):
+        qualified = schema.qualified("t")
+        assert qualified.index_of("a", "t") == 0
+        with pytest.raises(CatalogError):
+            qualified.index_of("a", "u")
+
+    def test_concat_detects_ambiguity(self, schema):
+        joined = schema.qualified("x").concat(schema.qualified("y"))
+        with pytest.raises(CatalogError):
+            joined.index_of("a")
+        assert joined.index_of("a", "y") == 2
+
+    def test_of_shorthand(self):
+        schema = Schema.of(("k", SQLType.INTEGER), ("v", SQLType.TEXT))
+        assert schema.column_names() == ["k", "v"]
+
+    def test_qualifier_length_mismatch(self, schema):
+        with pytest.raises(CatalogError):
+            Schema(schema.columns, ["t"])
+
+    def test_equality_ignores_qualifiers(self, schema):
+        assert schema == Schema(schema.columns)
+        assert schema.qualified("t") == schema
+
+    def test_coerce_row_arity_and_not_null(self):
+        schema = Schema([Column("a", SQLType.INTEGER, not_null=True)])
+        assert coerce_row((5,), schema) == (5,)
+        with pytest.raises(TypeError_):
+            coerce_row((None,), schema)
+        with pytest.raises(TypeError_):
+            coerce_row((1, 2), schema)
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(CatalogError):
+            Column("", SQLType.INTEGER)

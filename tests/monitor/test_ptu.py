@@ -1,0 +1,116 @@
+"""PTU OS-monitor tests: syscall stream → P_BB trace."""
+
+import pytest
+
+from repro.monitor.ptu import PTUMonitor
+from repro.provenance.combined import TraceBuilder
+from repro.vos import VirtualOS
+
+
+@pytest.fixture
+def vos():
+    return VirtualOS()
+
+
+@pytest.fixture
+def monitor(vos):
+    ptu = PTUMonitor(TraceBuilder())
+    vos.attach_tracer(ptu)
+    return ptu
+
+
+def run_app(vos, fn, binary="/bin/app"):
+    vos.register_program(binary, fn)
+    return vos.run(binary)
+
+
+class TestProcessCapture:
+    def test_process_node_created(self, vos, monitor):
+        process = run_app(vos, lambda ctx: 0)
+        node = monitor.builder.trace.node(f"proc:{process.pid}")
+        assert node.type_label == "process"
+        assert node.attr("name") == "app"
+
+    def test_executed_edge_for_children(self, vos, monitor):
+        vos.register_program("/bin/child", lambda ctx: 0)
+        parent = run_app(vos, lambda ctx: ctx.spawn("/bin/child").exit_code)
+        trace = monitor.builder.trace
+        executed = trace.edges("executed")
+        assert len(executed) == 1
+        assert executed[0].source == f"proc:{parent.pid}"
+        assert executed[0].interval.is_point
+
+    def test_binary_recorded_as_input(self, vos, monitor):
+        run_app(vos, lambda ctx: 0)
+        assert "/bin/app" in monitor.binary_paths
+        assert "/bin/app" in monitor.input_paths()
+
+    def test_monitored_pids(self, vos, monitor):
+        process = run_app(vos, lambda ctx: 0)
+        assert process.pid in monitor.monitored_pids
+
+
+class TestFileCapture:
+    def test_read_edge_with_open_close_interval(self, vos, monitor):
+        vos.fs.write_file("/in.txt", b"data")
+        def app(ctx):
+            handle = ctx.open("/in.txt")
+            handle.read()
+            handle.close()
+        process = run_app(vos, app)
+        trace = monitor.builder.trace
+        edge = trace.edges("readFrom")
+        read = [e for e in edge if e.source == "file:/in.txt"]
+        assert len(read) == 1
+        assert read[0].target == f"proc:{process.pid}"
+        assert read[0].interval.begin < read[0].interval.end
+
+    def test_write_edge(self, vos, monitor):
+        process = run_app(vos, lambda ctx: ctx.write_file("/out", b"x"))
+        written = monitor.builder.trace.edges("hasWritten")
+        assert [e.target for e in written] == ["file:/out"]
+        assert "/out" in monitor.written_paths
+
+    def test_reopen_widens_single_edge(self, vos, monitor):
+        vos.fs.write_file("/in.txt", b"data")
+        def app(ctx):
+            ctx.read_file("/in.txt")
+            ctx.read_file("/in.txt")
+        run_app(vos, app)
+        trace = monitor.builder.trace
+        reads = [e for e in trace.edges("readFrom")
+                 if e.source == "file:/in.txt"]
+        assert len(reads) == 1  # one edge, hull interval
+
+    def test_leaked_fd_closed_at_exit_still_traced(self, vos, monitor):
+        vos.fs.write_file("/in.txt", b"data")
+        run_app(vos, lambda ctx: ctx.open("/in.txt") and 0)
+        reads = [e for e in monitor.builder.trace.edges("readFrom")
+                 if e.source == "file:/in.txt"]
+        assert len(reads) == 1
+
+
+class TestInputClassification:
+    def test_pure_output_not_an_input(self, vos, monitor):
+        run_app(vos, lambda ctx: ctx.write_file("/out", b"x"))
+        assert "/out" not in monitor.input_paths()
+
+    def test_pure_input(self, vos, monitor):
+        vos.fs.write_file("/in", b"x")
+        run_app(vos, lambda ctx: len(ctx.read_file("/in")))
+        assert "/in" in monitor.input_paths()
+
+    def test_written_then_read_is_not_input(self, vos, monitor):
+        def app(ctx):
+            ctx.write_file("/tmpfile", b"x")
+            ctx.read_file("/tmpfile")
+        run_app(vos, app)
+        assert "/tmpfile" not in monitor.input_paths()
+
+    def test_read_then_written_is_input(self, vos, monitor):
+        vos.fs.write_file("/state", b"1")
+        def app(ctx):
+            value = int(ctx.read_text("/state"))
+            ctx.write_file("/state", str(value + 1))
+        run_app(vos, app)
+        assert "/state" in monitor.input_paths()

@@ -1,0 +1,181 @@
+"""Provenance model (Def 1) and execution trace (Def 2) tests."""
+
+import pytest
+
+from repro.errors import ModelViolationError, ProvenanceError, UnknownNodeError
+from repro.provenance import (
+    BB_MODEL,
+    COMBINED_MODEL,
+    LIN_MODEL,
+    EdgeType,
+    ExecutionTrace,
+    ProvenanceModel,
+    TimeInterval,
+)
+
+
+class TestTimeInterval:
+    def test_point(self):
+        interval = TimeInterval.point(5)
+        assert interval.begin == interval.end == 5
+        assert interval.is_point
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ProvenanceError):
+            TimeInterval(5, 3)
+
+    def test_contains(self):
+        assert TimeInterval(1, 5).contains(3)
+        assert not TimeInterval(1, 5).contains(6)
+
+    def test_overlaps(self):
+        assert TimeInterval(1, 5).overlaps(TimeInterval(5, 9))
+        assert not TimeInterval(1, 4).overlaps(TimeInterval(5, 9))
+
+    def test_hull(self):
+        assert TimeInterval(1, 3).hull(TimeInterval(7, 8)) == TimeInterval(1, 8)
+
+    def test_json_round_trip(self):
+        interval = TimeInterval(2, 9)
+        assert TimeInterval.from_json(interval.to_json()) == interval
+
+
+class TestProvenanceModel:
+    def test_bb_model_shape(self):
+        """Definition 3."""
+        assert BB_MODEL.activity_types == frozenset({"process"})
+        assert BB_MODEL.entity_types == frozenset({"file"})
+        assert set(BB_MODEL.edge_types) == {
+            "readFrom", "hasWritten", "executed"}
+
+    def test_lin_model_shape(self):
+        """Definition 4."""
+        assert LIN_MODEL.activity_types == frozenset(
+            {"query", "insert", "update", "delete"})
+        assert LIN_MODEL.entity_types == frozenset({"tuple"})
+
+    def test_combined_model_unions_types(self):
+        """Definition 5."""
+        assert COMBINED_MODEL.activity_types >= BB_MODEL.activity_types
+        assert COMBINED_MODEL.activity_types >= LIN_MODEL.activity_types
+        assert "run" in COMBINED_MODEL.edge_types
+        assert "readFromDB" in COMBINED_MODEL.edge_types
+
+    def test_labels_pairwise_distinct(self):
+        with pytest.raises(ModelViolationError):
+            ProvenanceModel("bad", ["x"], ["x"], [])
+
+    def test_edge_label_collision_with_node_type(self):
+        with pytest.raises(ModelViolationError):
+            ProvenanceModel("bad", ["a"], ["e"],
+                            [EdgeType("a", "e", "a")])
+
+    def test_duplicate_edge_label(self):
+        with pytest.raises(ModelViolationError):
+            ProvenanceModel("bad", ["a"], ["e"],
+                            [EdgeType("l", "e", "a"),
+                             EdgeType("l", "a", "e")])
+
+    def test_edge_references_unknown_type(self):
+        with pytest.raises(ModelViolationError):
+            ProvenanceModel("bad", ["a"], ["e"],
+                            [EdgeType("l", "ghost", "a")])
+
+    def test_combine_rejects_shared_types(self):
+        model = ProvenanceModel("m1", ["process"], [], [])
+        with pytest.raises(ModelViolationError):
+            BB_MODEL.combine(model, [])
+
+    def test_check_edge_validates_endpoints(self):
+        BB_MODEL.check_edge("readFrom", "file", "process")
+        with pytest.raises(ModelViolationError):
+            BB_MODEL.check_edge("readFrom", "process", "file")
+        with pytest.raises(ModelViolationError):
+            BB_MODEL.check_edge("ghost", "file", "process")
+
+
+@pytest.fixture
+def trace():
+    t = ExecutionTrace(BB_MODEL)
+    t.add_activity("proc:1", "process")
+    t.add_entity("file:/a", "file")
+    t.add_entity("file:/b", "file")
+    t.add_edge("file:/a", "proc:1", "readFrom", TimeInterval(1, 6))
+    t.add_edge("proc:1", "file:/b", "hasWritten", TimeInterval(7, 9))
+    return t
+
+
+class TestExecutionTrace:
+    def test_typed_construction(self, trace):
+        assert trace.node("proc:1").is_activity
+        assert trace.node("file:/a").is_entity
+        assert trace.node_count == 3
+        assert trace.edge_count == 2
+
+    def test_wrong_kind_rejected(self, trace):
+        with pytest.raises(ModelViolationError):
+            trace.add_activity("x", "file")
+        with pytest.raises(ModelViolationError):
+            trace.add_entity("y", "process")
+
+    def test_edge_type_enforced(self, trace):
+        with pytest.raises(ModelViolationError):
+            trace.add_edge("proc:1", "file:/a", "readFrom",
+                           TimeInterval.point(1))
+
+    def test_edge_to_unknown_node(self, trace):
+        with pytest.raises(UnknownNodeError):
+            trace.add_edge("file:/a", "proc:99", "readFrom",
+                           TimeInterval.point(1))
+
+    def test_node_creation_idempotent(self, trace):
+        trace.add_activity("proc:1", "process")
+        assert trace.node_count == 3
+
+    def test_node_type_conflict_raises(self, trace):
+        with pytest.raises(ProvenanceError):
+            trace.add_entity("proc:1", "file")
+
+    def test_repeated_edge_widens_interval(self, trace):
+        trace.add_edge("file:/a", "proc:1", "readFrom",
+                       TimeInterval(10, 12))
+        assert trace.interval("file:/a", "proc:1") == TimeInterval(1, 12)
+        assert trace.edge_count == 2  # still a single edge
+
+    def test_interval_lookup_missing_raises(self, trace):
+        with pytest.raises(ProvenanceError):
+            trace.interval("file:/b", "proc:1")
+
+    def test_state_function(self, trace):
+        """Definition 10: S(v, T) by incoming interaction begin time."""
+        assert trace.state("proc:1", 0) == set()
+        assert trace.state("proc:1", 1) == {"file:/a"}
+        assert trace.state("file:/b", 6) == set()
+        assert trace.state("file:/b", 7) == {"proc:1"}
+
+    def test_adjacency_queries(self, trace):
+        assert [e.target for e in trace.out_edges("file:/a")] == ["proc:1"]
+        assert [e.source for e in trace.in_edges("file:/b")] == ["proc:1"]
+
+    def test_filtered_node_listing(self, trace):
+        assert [n.node_id for n in trace.entities("file")] == [
+            "file:/a", "file:/b"]
+        assert [n.node_id for n in trace.activities()] == ["proc:1"]
+
+    def test_json_round_trip(self, trace):
+        data = trace.to_json()
+        restored = ExecutionTrace.from_json(data, BB_MODEL)
+        assert restored.node_count == trace.node_count
+        assert restored.edge_count == trace.edge_count
+        assert restored.interval("file:/a", "proc:1") == TimeInterval(1, 6)
+        assert restored.to_json() == data
+
+    def test_json_preserves_edge_attrs(self):
+        t = ExecutionTrace(COMBINED_MODEL)
+        t.add_activity("stmt:q1", "query")
+        t.add_entity("tuple:t:1:v1", "tuple")
+        t.add_edge("stmt:q1", "tuple:t:1:v1", "hasReturned",
+                   TimeInterval.point(4), lineage=["tuple:t:2:v1"])
+        restored = ExecutionTrace.from_json(t.to_json(), COMBINED_MODEL)
+        (edge,) = restored.out_edges("stmt:q1")
+        assert edge.attrs["lineage"] == ["tuple:t:2:v1"]

@@ -1,0 +1,105 @@
+"""Foundation modules: error hierarchy, logical clock, TupleRef."""
+
+import pytest
+
+from repro import errors
+from repro.clockwork import LogicalClock
+from repro.db.provtypes import EMPTY_LINEAGE, ResultRow, TupleRef
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj is not errors.ReproError):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_db_errors_under_database_error(self):
+        for cls in (errors.SQLSyntaxError, errors.CatalogError,
+                    errors.IntegrityError, errors.ExecutionError,
+                    errors.TransactionError, errors.ProtocolError,
+                    errors.ConnectionClosedError):
+            assert issubclass(cls, errors.DatabaseError)
+
+    def test_vos_errors_under_vos_error(self):
+        for cls in (errors.FileNotFoundVosError,
+                    errors.FileExistsVosError,
+                    errors.NotADirectoryVosError,
+                    errors.IsADirectoryVosError,
+                    errors.BadFileDescriptorError,
+                    errors.ProcessError,
+                    errors.ProgramNotFoundError):
+            assert issubclass(cls, errors.VosError)
+
+    def test_syntax_error_position(self):
+        error = errors.SQLSyntaxError("bad", position=17)
+        assert error.position == 17
+
+    def test_replay_mismatch_carries_context(self):
+        error = errors.ReplayMismatchError("m", expected="A", actual="B")
+        assert error.expected == "A"
+        assert error.actual == "B"
+        assert issubclass(errors.ReplayMismatchError, errors.ReplayError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ManifestError("x")
+
+
+class TestLogicalClock:
+    def test_strictly_monotonic(self):
+        clock = LogicalClock()
+        ticks = [clock.tick() for _ in range(100)]
+        assert ticks == sorted(set(ticks))
+
+    def test_now_tracks_last_tick(self):
+        clock = LogicalClock()
+        assert clock.now == 0
+        clock.tick()
+        assert clock.now == 1
+
+    def test_custom_start(self):
+        assert LogicalClock(start=50).tick() == 51
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalClock(start=-1)
+
+    def test_advance(self):
+        clock = LogicalClock()
+        assert clock.advance(10) == 10
+        with pytest.raises(ValueError):
+            clock.advance(0)
+
+    def test_shared_clock_interleaves(self):
+        """The whole point: DB version stamps and OS syscall ticks
+        draw from one total order."""
+        clock = LogicalClock()
+        a = clock.tick()
+        b = clock.tick()
+        c = clock.tick()
+        assert a < b < c
+
+
+class TestTupleRef:
+    def test_ordering_and_hashing(self):
+        refs = {TupleRef("t", 1, 1), TupleRef("t", 1, 1),
+                TupleRef("t", 1, 2)}
+        assert len(refs) == 2
+        assert sorted(refs)[0].version == 1
+
+    def test_display(self):
+        assert TupleRef("sales", 7, 3).display() == "sales[7@v3]"
+
+    def test_versions_are_distinct_identities(self):
+        assert TupleRef("t", 1, 1) != TupleRef("t", 1, 2)
+
+    def test_empty_lineage_is_falsy_frozenset(self):
+        assert EMPTY_LINEAGE == frozenset()
+        assert not EMPTY_LINEAGE
+
+    def test_result_row(self):
+        row = ResultRow((1, 2), frozenset({TupleRef("t", 1, 1)}))
+        assert row.values == (1, 2)
+        assert len(row.lineage) == 1

@@ -1,0 +1,184 @@
+"""TPC-H substrate tests: dbgen determinism, Table II selectivities,
+refresh streams."""
+
+import pytest
+
+from repro.db import Database
+from repro.workloads.tpch.dbgen import (
+    TPCHConfig,
+    TPCHGenerator,
+    customer_name,
+)
+from repro.workloads.tpch.queries import (
+    SUPPLIER_SELECTIVITIES,
+    ZERO_RUNS,
+    supplier_param,
+    table2_variants,
+    variant_by_id,
+    zero_run_selectivity,
+)
+from repro.workloads.tpch.refresh import insert_statements, update_statements
+
+CONFIG = TPCHConfig(scale_factor=0.001)
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    database = Database()
+    generator = TPCHGenerator(CONFIG)
+    counts = generator.generate_into(database)
+    return database, generator, counts
+
+
+class TestDbgen:
+    def test_cardinalities_scale(self, loaded):
+        _db, _gen, counts = loaded
+        assert counts["customer"] == CONFIG.n_customers == 150
+        assert counts["orders"] == CONFIG.n_orders == 1500
+        assert counts["region"] == 5
+        assert counts["nation"] == 25
+        # ~4 lineitems per order on average
+        assert 3000 < counts["lineitem"] < 6200
+
+    def test_supplier_floor_keeps_selectivities_distinct(self):
+        assert CONFIG.n_suppliers == 100
+        params = [supplier_param(CONFIG, sel)
+                  for sel in SUPPLIER_SELECTIVITIES]
+        assert params == sorted(set(params))  # all distinct
+
+    def test_determinism(self):
+        first = Database()
+        second = Database()
+        TPCHGenerator(CONFIG).generate_into(first)
+        TPCHGenerator(CONFIG).generate_into(second)
+        for table in ("customer", "orders", "lineitem"):
+            assert list(first.catalog.get_table(table).scan()) == \
+                list(second.catalog.get_table(table).scan())
+
+    def test_different_seed_differs(self):
+        first = Database()
+        second = Database()
+        TPCHGenerator(CONFIG).generate_into(first)
+        TPCHGenerator(TPCHConfig(scale_factor=0.001,
+                                 seed=1)).generate_into(second)
+        assert list(first.catalog.get_table("orders").scan()) != \
+            list(second.catalog.get_table("orders").scan())
+
+    def test_customer_name_padding(self):
+        assert customer_name(42, 9) == "Customer#000000042"
+
+    def test_sf1_width_matches_spec(self):
+        assert TPCHConfig(scale_factor=1.0).customer_name_width == 9
+
+    def test_pk_integrity(self, loaded):
+        db, _gen, _counts = loaded
+        # primary keys loaded without violation; spot-check uniqueness
+        rows = db.query("SELECT count(*) FROM orders")
+        distinct = db.query("SELECT count(DISTINCT o_orderkey) FROM orders")
+        assert rows == distinct
+
+    def test_foreign_key_ranges(self, loaded):
+        db, _gen, _counts = loaded
+        (bad,) = db.query(
+            "SELECT count(*) FROM lineitem WHERE l_orderkey < 1 OR "
+            f"l_orderkey > {CONFIG.n_orders}")[0]
+        assert bad == 0
+        (bad_supp,) = db.query(
+            "SELECT count(*) FROM lineitem WHERE l_suppkey < 1 OR "
+            f"l_suppkey > {CONFIG.n_suppliers}")[0]
+        assert bad_supp == 0
+
+
+class TestTable2Selectivities:
+    def test_eighteen_variants(self):
+        variants = table2_variants(CONFIG)
+        assert len(variants) == 18
+        assert [v.query_id for v in variants][:6] == [
+            "Q1-1", "Q1-2", "Q1-3", "Q1-4", "Q1-5", "Q2-1"]
+
+    def test_q1_measured_selectivity(self, loaded):
+        db, _gen, counts = loaded
+        for index, target in enumerate(SUPPLIER_SELECTIVITIES, 1):
+            variant = variant_by_id(CONFIG, f"Q1-{index}")
+            rows = db.query(variant.sql)
+            measured = len(rows) / counts["lineitem"]
+            assert measured == pytest.approx(target, rel=0.35), \
+                f"{variant.query_id}: {measured} vs {target}"
+
+    def test_q1_selectivities_increase(self, loaded):
+        db, _gen, _counts = loaded
+        sizes = [len(db.query(variant_by_id(CONFIG, f"Q1-{i}").sql))
+                 for i in range(1, 6)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_q2_zero_run_monotone(self, loaded):
+        db, _gen, _counts = loaded
+        sizes = [len(db.query(variant_by_id(CONFIG, f"Q2-{i}").sql))
+                 for i in range(1, 5)]
+        # more zeros = more selective: Q2-1 (7 zeros) smallest
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 0
+
+    def test_q2_matches_predicted_selectivity(self, loaded):
+        db, _gen, _counts = loaded
+        total = db.query("SELECT count(*) FROM customer")[0][0]
+        for index, zero_run in enumerate(ZERO_RUNS, 1):
+            predicted = zero_run_selectivity(CONFIG, zero_run)
+            pattern = "0" * zero_run
+            (matched,) = db.query(
+                "SELECT count(*) FROM customer WHERE c_name LIKE "
+                f"'%{pattern}%'")[0]
+            assert matched / total == pytest.approx(predicted, abs=0.01)
+
+    def test_q3_returns_single_row(self, loaded):
+        db, _gen, _counts = loaded
+        for index in range(1, 5):
+            rows = db.query(variant_by_id(CONFIG, f"Q3-{index}").sql)
+            assert len(rows) == 1
+
+    def test_q4_group_count_tracks_selectivity(self, loaded):
+        db, _gen, _counts = loaded
+        sizes = [len(db.query(variant_by_id(CONFIG, f"Q4-{i}").sql))
+                 for i in range(1, 6)]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(KeyError):
+            variant_by_id(CONFIG, "Q9-9")
+
+
+class TestRefreshStreams:
+    def test_insert_statements_apply_cleanly(self, loaded):
+        db, generator, _counts = loaded
+        fresh = Database()
+        TPCHGenerator(CONFIG).generate_into(fresh)
+        for sql in insert_statements(generator, 20,
+                                     start_key=CONFIG.n_orders + 1):
+            fresh.execute(sql)
+        assert fresh.query("SELECT count(*) FROM orders") == [
+            (CONFIG.n_orders + 20,)]
+
+    def test_insert_keys_do_not_collide(self, loaded):
+        _db, generator, _counts = loaded
+        statements = insert_statements(generator, 10,
+                                       start_key=CONFIG.n_orders + 1)
+        assert len(statements) == 10
+        assert all("INSERT INTO orders" in sql for sql in statements)
+
+    def test_update_statements_touch_distinct_orders(self, loaded):
+        _db, generator, _counts = loaded
+        statements = update_statements(generator, 10)
+        keys = {sql.rsplit("= ", 1)[1] for sql in statements}
+        assert len(keys) == 10
+
+    def test_update_statements_apply(self, loaded):
+        _db, generator, _counts = loaded
+        fresh = Database()
+        TPCHGenerator(CONFIG).generate_into(fresh)
+        before = fresh.query(
+            "SELECT o_totalprice FROM orders WHERE o_orderkey = 1")
+        fresh.execute(update_statements(generator, 1)[0])
+        after = fresh.query(
+            "SELECT o_totalprice FROM orders WHERE o_orderkey = 1")
+        assert after[0][0] == pytest.approx(before[0][0] * 1.01)
