@@ -63,6 +63,16 @@ def load_scenario(spec: str) -> Scenario:
     return scenario
 
 
+def _fail(prog: str, exc: ReproError) -> int:
+    """One-line diagnostic, non-zero exit — never a traceback.
+
+    Any :class:`ReproError` a command body raises (bad scenario, audit
+    breakdown, WAL corruption, package validation, ...) lands here.
+    """
+    print(f"{prog}: error: {type(exc).__name__}: {exc}", file=sys.stderr)
+    return 1
+
+
 def audit_main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="ldv-audit",
@@ -83,13 +93,12 @@ def audit_main(argv: Sequence[str] | None = None) -> int:
             database=scenario.database,
             server_name=scenario.server_name,
             server_binary_paths=scenario.server_binary_paths)
+        print(f"audited {scenario.entry_binary} "
+              f"(exit {report.process.exit_code})")
+        print(f"package: {report.package_path} "
+              f"({report.package_bytes} bytes, kind={args.mode})")
     except ReproError as exc:
-        print(f"ldv-audit: error: {exc}", file=sys.stderr)
-        return 1
-    print(f"audited {scenario.entry_binary} "
-          f"(exit {report.process.exit_code})")
-    print(f"package: {report.package_path} "
-          f"({report.package_bytes} bytes, kind={args.mode})")
+        return _fail("ldv-audit", exc)
     return 0 if report.process.exit_code == 0 else report.process.exit_code
 
 
@@ -115,20 +124,19 @@ def exec_main(argv: Sequence[str] | None = None) -> int:
         result = ldv_exec(args.package, scenario.registry,
                           binary=args.binary,
                           allow_skip=args.allow_skip)
+        print(f"re-executed (exit {result.process.exit_code}); "
+              f"{result.replayed_statements} statements replayed, "
+              f"{result.restored_tuples} tuples restored")
+        for path in sorted(result.outputs):
+            verdict = ""
+            if result.output_matches and path in result.output_matches:
+                verdict = ("  [matches original]"
+                           if result.output_matches[path]
+                           else "  [DIFFERS from original]")
+            print(f"output: {path} ({len(result.outputs[path])} bytes)"
+                  f"{verdict}")
     except ReproError as exc:
-        print(f"ldv-exec: error: {exc}", file=sys.stderr)
-        return 1
-    print(f"re-executed (exit {result.process.exit_code}); "
-          f"{result.replayed_statements} statements replayed, "
-          f"{result.restored_tuples} tuples restored")
-    for path in sorted(result.outputs):
-        verdict = ""
-        if result.output_matches and path in result.output_matches:
-            verdict = ("  [matches original]"
-                       if result.output_matches[path]
-                       else "  [DIFFERS from original]")
-        print(f"output: {path} ({len(result.outputs[path])} bytes)"
-              f"{verdict}")
+        return _fail("ldv-exec", exc)
     if not result.validated:
         print("validation FAILED: outputs differ from the audited run",
               file=sys.stderr)

@@ -118,6 +118,10 @@ class Packager:
         if self.session.mode != SERVER_INCLUDED:
             raise PackageError(
                 "session was not audited in server-included mode")
+        # drain the WAL so the schema and tuple versions we package come
+        # from a crash-consistent image of committed state (a no-op for
+        # in-memory databases)
+        database.checkpoint()
         store = self.session.relevant_tuples
         tables = self._tables_to_ship(database)
         manifest = Manifest(

@@ -21,16 +21,21 @@ The top-level façade is :class:`repro.db.engine.Database`.
 """
 
 from repro.db.engine import Database
+from repro.db.fileio import FileIO
 from repro.db.types import Column, Schema, SQLType
-from repro.db.client import DBClient, Interceptor
+from repro.db.client import DBClient, Interceptor, RetryPolicy
 from repro.db.server import DBServer
+from repro.db.wal import WriteAheadLog
 
 __all__ = [
     "Database",
     "Column",
+    "FileIO",
     "Schema",
     "SQLType",
     "DBClient",
     "DBServer",
     "Interceptor",
+    "RetryPolicy",
+    "WriteAheadLog",
 ]

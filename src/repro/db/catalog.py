@@ -37,8 +37,10 @@ class Catalog:
                 return
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
-        if self.data_directory is not None:
-            self.data_directory.drop_table(key)
+        # disk removal is deferred to flush()/sync_drops(): destroying
+        # durable state belongs to the checkpoint, after the DROP has
+        # been committed to the WAL — an uncommitted DROP must be
+        # recoverable
 
     def get_table(self, name: str) -> HeapTable:
         table = self._tables.get(name.lower())
@@ -72,13 +74,23 @@ class Catalog:
     # -- persistence -----------------------------------------------------------
 
     def flush(self) -> None:
-        """Write every table to the data directory (checkpoint)."""
+        """Write every table to the data directory (checkpoint) and
+        delete files for tables that were dropped since the last one."""
         if self.data_directory is None:
             return
         for table in self._tables.values():
             self.data_directory.save_table(table)
+        self.sync_drops()
 
     def flush_table(self, name: str) -> None:
         if self.data_directory is None:
             return
         self.data_directory.save_table(self.get_table(name))
+
+    def sync_drops(self) -> None:
+        """Remove on-disk files of tables no longer in the catalog."""
+        if self.data_directory is None:
+            return
+        for name in self.data_directory.table_names():
+            if name not in self._tables:
+                self.data_directory.drop_table(name)

@@ -11,14 +11,45 @@ replay works (Section VIII).
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.db import protocol
 from repro.db.engine import StatementResult
-from repro.errors import ConnectionClosedError, DatabaseError, ProtocolError
+from repro.errors import (
+    ConnectionClosedError,
+    DatabaseError,
+    ProtocolError,
+    TransientError,
+)
 from repro import errors as errors_module
 
 Transport = Callable[[str], str]
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff for transient wire failures.
+
+    A round trip is retried when the transport raises
+    :class:`repro.errors.TransientError` or the server answers with an
+    error frame flagged ``transient`` — both guarantee the statement
+    had no durable effect, so a resend is safe. The ``sleep`` hook is
+    injectable so tests can assert the backoff sequence without
+    actually waiting.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    sleep: Callable[[float], None] = field(default=time.sleep)
+
+    def delay_for(self, attempt: int) -> float:
+        """The pause before retry number ``attempt + 1`` (0-based)."""
+        return min(self.base_delay * self.multiplier ** attempt,
+                   self.max_delay)
 
 
 class Interceptor:
@@ -68,13 +99,16 @@ class DBClient:
     """
 
     def __init__(self, transport: Transport, client_name: str = "client",
-                 process_id: str = "0") -> None:
+                 process_id: str = "0",
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.transport = transport
         self.client_name = client_name
         self.process_id = process_id
+        self.retry_policy = retry_policy
         self.connection_id: Optional[int] = None
         self.interceptors: list[Interceptor] = []
         self.statements_sent = 0
+        self.retries_performed = 0
 
     # -- interposition -----------------------------------------------------------
 
@@ -156,8 +190,36 @@ class DBClient:
 
     def _round_trip(self, frame: dict[str, Any]) -> dict[str, Any]:
         request_text = protocol.encode_frame(frame)
-        response_text = self.transport(request_text)
-        response = protocol.decode_frame(response_text)
+        response = self._send_with_retry(request_text)
         if response.get("frame") == "error" and frame.get("frame") != "query":
             _raise_from_error_frame(response)
         return response
+
+    def _send_with_retry(self, request_text: str) -> dict[str, Any]:
+        """One logical send: transient failures are retried with
+        backoff until the policy is exhausted, then surfaced."""
+        attempt = 0
+        while True:
+            try:
+                response = protocol.decode_frame(
+                    self.transport(request_text))
+            except TransientError:
+                if not self._backoff(attempt):
+                    raise
+                attempt += 1
+                continue
+            if (protocol.is_transient_error(response)
+                    and self._backoff(attempt)):
+                attempt += 1
+                continue
+            return response
+
+    def _backoff(self, attempt: int) -> bool:
+        """Sleep before retry ``attempt + 1``; False when out of
+        attempts (or no policy is configured)."""
+        policy = self.retry_policy
+        if policy is None or attempt + 1 >= policy.max_attempts:
+            return False
+        policy.sleep(policy.delay_for(attempt))
+        self.retries_performed += 1
+        return True

@@ -16,6 +16,18 @@ Query lineage (Perm's Lineage) is produced when the statement is
 
 Transactions use an undo log: BEGIN starts recording inverse
 operations; ROLLBACK replays them in reverse.
+
+Durability (when a data directory is given): every committed statement
+or transaction is flushed to a write-ahead log (:mod:`repro.db.wal`)
+*before* any table file is touched, and :meth:`Database.checkpoint`
+rewrites table files atomically (temp → fsync → rename) before
+resetting the log. Opening a database therefore recovers automatically:
+table files are loaded, the WAL's committed records are replayed
+idempotently on top, torn or uncommitted log tails are truncated, and
+the logical clock resumes past every recovered tick. All file I/O runs
+through an injectable :class:`repro.db.fileio.FileIO`, which is how the
+fault-injection harness (:mod:`repro.faults`) simulates crashes at
+every write, fsync, and rename.
 """
 
 from __future__ import annotations
@@ -34,13 +46,28 @@ from repro.db.provtypes import EMPTY_LINEAGE, TupleRef
 from repro.db.sql import ast
 from repro.db.sql.parser import parse_sql
 from repro.db.subquery import expand_statement
+from repro.db.fileio import FileIO
 from repro.db.storage import DataDirectory, HeapTable
-from repro.db.types import Column, Schema, SQLType
+from repro.db.types import (
+    Column,
+    Schema,
+    SQLType,
+    value_from_csv,
+    value_to_csv,
+)
+from repro.db.wal import (
+    WALRecovery,
+    WriteAheadLog,
+    schema_from_wire,
+    schema_to_wire,
+)
 from repro.errors import (
     CatalogError,
+    DatabaseError,
     ExecutionError,
     SQLSyntaxError,
     TransactionError,
+    WALCorruptionError,
 )
 
 
@@ -93,18 +120,134 @@ class Database:
 
     def __init__(self, data_directory: str | Path | None = None,
                  clock: LogicalClock | None = None,
-                 autoflush: bool = False) -> None:
-        directory = (DataDirectory(data_directory)
+                 autoflush: bool = False,
+                 io: FileIO | None = None) -> None:
+        self.io = io if io is not None else FileIO()
+        directory = (DataDirectory(data_directory, io=self.io)
                      if data_directory is not None else None)
         self.catalog = Catalog(directory)
         self.clock = clock if clock is not None else LogicalClock()
         self.autoflush = autoflush
         self._undo: Optional[_UndoLog] = None
+        # WAL batch state: redo records buffered since the last commit
+        # marker, and which tables the batch touched/dropped
+        self.wal: Optional[WriteAheadLog] = None
+        self._wal_dirty = False
+        self._touched_tables: set[str] = set()
+        self._dropped_tables: set[str] = set()
+        self.last_recovery: Optional[WALRecovery] = None
+        if directory is not None:
+            self.wal = WriteAheadLog(directory.wal_path, io=self.io)
+            self.last_recovery = self.wal.open()
+            self._replay_recovered(self.last_recovery)
+            self._restore_clock(directory, self.last_recovery)
         # file access hooks so a virtual OS can interpose COPY I/O
         self.read_file: Callable[[str], str] = (
             lambda path: Path(path).read_text())
         self.write_file: Callable[[str, str], None] = (
             lambda path, text: Path(path).write_text(text))
+
+    # -- crash recovery ----------------------------------------------------------
+
+    def _replay_recovered(self, recovery: WALRecovery) -> None:
+        """Apply the WAL's committed redo records over the loaded
+        table files. Records use absolute row states, so replay is
+        idempotent even when a checkpoint already captured some of
+        them."""
+        for record in recovery.records:
+            try:
+                self._apply_wal_record(record)
+            except DatabaseError as exc:
+                raise WALCorruptionError(
+                    f"committed WAL record {record!r} cannot be "
+                    f"replayed: {exc}") from exc
+
+    def _apply_wal_record(self, record: dict) -> None:
+        operation = record["op"]
+        if operation == "put":
+            table = self.catalog.get_table(record["table"])
+            values = tuple(
+                value_from_csv(cell, sql_type)
+                for cell, sql_type in zip(record["values"],
+                                          table.schema.types()))
+            table.put_row(record["rowid"], values, record["version"])
+        elif operation == "delete":
+            self.catalog.get_table(record["table"]).remove_row(
+                record["rowid"])
+        elif operation == "create_table":
+            if not self.catalog.has_table(record["table"]):
+                self.catalog.create_table(
+                    record["table"], schema_from_wire(record["columns"]))
+        elif operation == "drop_table":
+            self.catalog.drop_table(record["table"], if_exists=True)
+        elif operation == "create_index":
+            self.catalog.get_table(record["table"]).create_index(
+                record["name"], record["column"], if_not_exists=True)
+        elif operation == "drop_index":
+            if self.catalog.has_index(record["name"]):
+                self.catalog.table_of_index(record["name"]).drop_index(
+                    record["name"])
+        else:
+            raise WALCorruptionError(
+                f"unknown WAL operation {operation!r}")
+
+    def _restore_clock(self, directory: DataDirectory,
+                       recovery: WALRecovery) -> None:
+        """Resume logical time strictly after every recovered tick."""
+        target = max(int(directory.load_meta().get("clock", 0)),
+                     recovery.last_tick)
+        for table in self.catalog:
+            if table.versions:
+                target = max(target, max(table.versions.values()))
+        if target > self.clock.now:
+            self.clock.advance(target - self.clock.now)
+
+    # -- WAL batch bookkeeping ---------------------------------------------------
+
+    def _log_put(self, table: HeapTable, rowid: int) -> None:
+        self._touched_tables.add(table.name)
+        if self.wal is not None:
+            self.wal.append({
+                "op": "put", "table": table.name, "rowid": rowid,
+                "version": table.versions[rowid],
+                "values": [value_to_csv(value)
+                           for value in table.rows[rowid]],
+            })
+            self._wal_dirty = True
+
+    def _log_delete(self, table: HeapTable, rowid: int) -> None:
+        self._touched_tables.add(table.name)
+        if self.wal is not None:
+            self.wal.append({"op": "delete", "table": table.name,
+                             "rowid": rowid})
+            self._wal_dirty = True
+
+    def _log_ddl(self, record: dict) -> None:
+        if self.wal is not None:
+            self.wal.append(record)
+            self._wal_dirty = True
+
+    def _commit_wal_batch(self) -> None:
+        """Durably commit the pending batch, then (with autoflush)
+        mirror it into the table files — always WAL before data."""
+        if self.wal is not None and self._wal_dirty:
+            self.wal.commit(self.clock.now)
+            self._wal_dirty = False
+        if self.autoflush:
+            for name in sorted(self._touched_tables):
+                if self.catalog.has_table(name):
+                    self.catalog.flush_table(name)
+            if self._dropped_tables:
+                self.catalog.sync_drops()
+        self._touched_tables.clear()
+        self._dropped_tables.clear()
+
+    def _abort_wal_batch(self) -> None:
+        if self.wal is not None:
+            self.wal.abort()
+        self._wal_dirty = False
+        self._touched_tables.clear()
+        self._dropped_tables.clear()
 
     # -- public API --------------------------------------------------------------
 
@@ -141,13 +284,24 @@ class Database:
                                                ast.Insert)))
             statement, extra_lineage = expand_statement(
                 statement, self._run_subquery, track)
-        result = self._dispatch_statement(statement, provenance)
+        try:
+            result = self._dispatch_statement(statement, provenance)
+        except Exception:
+            if self._undo is None:
+                # a failed autocommit statement never commits: whatever
+                # it logged must not survive recovery
+                self._abort_wal_batch()
+            raise
         if extra_lineage:
             result.lineages = [lineage | extra_lineage
                                for lineage in result.lineages]
             result.written_lineage = {
                 ref: deps | extra_lineage
                 for ref, deps in result.written_lineage.items()}
+        if self._undo is None:
+            # autocommit (or the COMMIT statement itself): make the
+            # batch durable before any table file is rewritten
+            self._commit_wal_batch()
         return result
 
     def _run_subquery(self, select: ast.Select, track_lineage: bool):
@@ -170,8 +324,7 @@ class Database:
         if isinstance(statement, ast.CreateTable):
             return self._execute_create(statement)
         if isinstance(statement, ast.DropTable):
-            self.catalog.drop_table(statement.table, statement.if_exists)
-            return StatementResult(kind="drop")
+            return self._execute_drop_table(statement)
         if isinstance(statement, ast.CreateIndex):
             return self._execute_create_index(statement)
         if isinstance(statement, ast.DropIndex):
@@ -192,8 +345,24 @@ class Database:
             f"unsupported statement type {type(statement).__name__}")
 
     def checkpoint(self) -> None:
-        """Flush all tables to the data directory."""
+        """Write a crash-consistent on-disk image.
+
+        Every table file is rewritten atomically (temp → fsync →
+        rename), dropped tables' files are removed, the logical clock
+        is persisted, and only then is the WAL reset. A crash at any
+        intermediate point leaves a directory that recovery repairs:
+        the not-yet-reset WAL simply replays (idempotently) on top of
+        whichever table files made it.
+        """
+        if self._undo is not None:
+            raise TransactionError(
+                "cannot checkpoint during an open transaction")
         self.catalog.flush()
+        directory = self.catalog.data_directory
+        if directory is not None:
+            directory.save_meta({"clock": self.clock.now})
+        if self.wal is not None:
+            self.wal.reset()
 
     def close(self) -> None:
         """Checkpoint and release (no open handles are held otherwise)."""
@@ -265,14 +434,13 @@ class Database:
         for values, lineage in source_rows:
             full_values = self._spread_values(table, positions, values)
             rowid = table.insert(full_values, tick)
+            self._log_put(table, rowid)
             if self._undo is not None:
                 self._undo.record_insert(table.name, rowid)
             ref = TupleRef(table.name, rowid, tick)
             result.written.append(ref)
             result.written_lineage[ref] = lineage
         result.rowcount = len(source_rows)
-        if self.autoflush:
-            self.catalog.flush_table(table.name)
         return result
 
     def _column_positions(self, table: HeapTable,
@@ -327,6 +495,7 @@ class Database:
                 new_values[position] = evaluator.evaluate(
                     expression, old_values)
             table.update(rowid, tuple(new_values), tick)
+            self._log_put(table, rowid)
             if self._undo is not None:
                 self._undo.record_update(
                     table.name, rowid, old_values, old_version)
@@ -335,8 +504,6 @@ class Database:
             result.written.append(new_ref)
             result.written_lineage[new_ref] = frozenset((old_ref,))
         result.rowcount = len(matched)
-        if self.autoflush:
-            self.catalog.flush_table(table.name)
         return result
 
     def _execute_delete(self, delete: ast.Delete) -> StatementResult:
@@ -347,13 +514,12 @@ class Database:
         for rowid, old_values in matched:
             old_version = table.version_of(rowid)
             table.delete(rowid)
+            self._log_delete(table, rowid)
             if self._undo is not None:
                 self._undo.record_delete(
                     table.name, rowid, old_values, old_version)
             result.deleted.append(TupleRef(table.name, rowid, old_version))
         result.rowcount = len(matched)
-        if self.autoflush:
-            self.catalog.flush_table(table.name)
         return result
 
     # -- DDL / COPY --------------------------------------------------------------------
@@ -368,11 +534,24 @@ class Database:
             )
             for definition in create.columns
         ]
-        self.catalog.create_table(
+        existed = self.catalog.has_table(create.table)
+        table = self.catalog.create_table(
             create.table, Schema(columns), create.if_not_exists)
-        if self.autoflush:
-            self.catalog.flush_table(create.table)
+        if not existed:
+            self._touched_tables.add(table.name)
+            self._log_ddl({"op": "create_table", "table": table.name,
+                           "columns": schema_to_wire(table.schema)})
         return StatementResult(kind="create")
+
+    def _execute_drop_table(self, drop: ast.DropTable) -> StatementResult:
+        existed = self.catalog.has_table(drop.table)
+        self.catalog.drop_table(drop.table, drop.if_exists)
+        if existed:
+            key = drop.table.lower()
+            self._dropped_tables.add(key)
+            self._touched_tables.discard(key)
+            self._log_ddl({"op": "drop_table", "table": key})
+        return StatementResult(kind="drop")
 
     def _execute_create_index(self,
                               create: ast.CreateIndex) -> StatementResult:
@@ -381,10 +560,11 @@ class Database:
                 return StatementResult(kind="create")
             raise CatalogError(f"index {create.name!r} already exists")
         table = self.catalog.get_table(create.table)
-        table.create_index(create.name, create.column,
-                           create.if_not_exists)
-        if self.autoflush:
-            self.catalog.flush_table(table.name)
+        index = table.create_index(create.name, create.column,
+                                   create.if_not_exists)
+        self._touched_tables.add(table.name)
+        self._log_ddl({"op": "create_index", "table": table.name,
+                       "name": index.name, "column": index.column})
         return StatementResult(kind="create",
                                source_tables=[table.name])
 
@@ -395,8 +575,8 @@ class Database:
             raise CatalogError(f"index {drop.name!r} does not exist")
         table = self.catalog.table_of_index(drop.name)
         table.drop_index(drop.name)
-        if self.autoflush:
-            self.catalog.flush_table(table.name)
+        self._touched_tables.add(table.name)
+        self._log_ddl({"op": "drop_index", "name": drop.name.lower()})
         return StatementResult(kind="drop", source_tables=[table.name])
 
     def _execute_copy_from(self, copy: ast.CopyFrom) -> StatementResult:
@@ -409,12 +589,11 @@ class Database:
         result = StatementResult(kind="copy", source_tables=[table.name])
         for values in rows:
             rowid = table.insert(values, tick)
+            self._log_put(table, rowid)
             if self._undo is not None:
                 self._undo.record_insert(table.name, rowid)
             result.written.append(TupleRef(table.name, rowid, tick))
         result.rowcount = len(result.written)
-        if self.autoflush:
-            self.catalog.flush_table(table.name)
         return result
 
     def _execute_copy_to(self, copy: ast.CopyTo) -> StatementResult:
@@ -437,9 +616,9 @@ class Database:
     def _execute_commit(self) -> StatementResult:
         if self._undo is None:
             raise TransactionError("no transaction in progress")
+        # clearing _undo lets execute_statement's autocommit epilogue
+        # write the commit marker and (with autoflush) the table files
         self._undo = None
-        if self.autoflush:
-            self.catalog.flush()
         return StatementResult(kind="txn")
 
     def _execute_rollback(self) -> StatementResult:
@@ -447,6 +626,9 @@ class Database:
             raise TransactionError("no transaction in progress")
         undo = self._undo
         self._undo = None  # undo operations must not re-record
+        # nothing of the batch has reached the log, so aborting simply
+        # drops the buffered records
+        self._abort_wal_batch()
         for entry in reversed(undo.entries):
             operation = entry[0]
             table = self.catalog.get_table(entry[1])

@@ -14,9 +14,14 @@ Frame types::
     query     {frame, connection_id, sql, provenance}
     result    {frame, kind, columns, types, rows, lineages, rowcount,
                written, written_lineage, deleted, source_tables}
-    error     {frame, error_type, message}
+    error     {frame, error_type, message, transient}
     close     {frame, connection_id}
     closed    {frame}
+
+An error frame with ``transient`` set marks a failure the client may
+safely retry (an injected wire fault, a failed fsync): the server
+guarantees the statement had no durable effect. Clients with a
+``RetryPolicy`` resend such requests with bounded backoff.
 """
 
 from __future__ import annotations
@@ -99,8 +104,18 @@ def query_frame(connection_id: int, sql: str,
             "sql": sql, "provenance": provenance}
 
 
-def error_frame(error_type: str, message: str) -> dict[str, Any]:
-    return {"frame": "error", "error_type": error_type, "message": message}
+def error_frame(error_type: str, message: str,
+                transient: bool = False) -> dict[str, Any]:
+    frame = {"frame": "error", "error_type": error_type,
+             "message": message}
+    if transient:
+        frame["transient"] = True
+    return frame
+
+
+def is_transient_error(frame: dict[str, Any]) -> bool:
+    """True for an error frame a client may retry."""
+    return bool(frame.get("frame") == "error" and frame.get("transient"))
 
 
 def close_frame(connection_id: int) -> dict[str, Any]:

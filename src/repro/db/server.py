@@ -5,31 +5,57 @@ One :class:`DBServer` serves any number of in-process connections. Its
 (JSON text), which is the transport handed to clients — every exchange
 pays real serialization, like a socket would, and gives interceptors a
 faithful wire view.
+
+The wire boundary is a hard error wall: :meth:`handle_wire` never lets
+an exception escape. Malformed frames, traffic after :meth:`shutdown`,
+statement failures, even unexpected internal errors all come back as
+protocol ``error`` frames (transient ones flagged so clients may
+retry). The only thing that crosses the wall is a simulated crash from
+the fault-injection harness, which — like a real ``kill -9`` — no
+handler may absorb.
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Any, Callable
 
 from repro.clockwork import LogicalClock
 from repro.db import protocol
 from repro.db.engine import Database
-from repro.errors import DatabaseError, ProtocolError, ReproError
+from repro.errors import (
+    DatabaseError,
+    ProtocolError,
+    ReproError,
+    StatementTimeout,
+    TransientError,
+)
 
 
 class DBServer:
-    """A single-process database server."""
+    """A single-process database server.
+
+    ``statement_timeout`` is a per-statement wall-time budget in
+    seconds; a statement that overruns it answers with a
+    ``StatementTimeout`` error frame instead of its result. The clock
+    used to measure it is injectable (``timer``) so tests — and the
+    fault harness — can drive timeouts deterministically.
+    """
 
     def __init__(self, database: Database | None = None,
                  data_directory: str | Path | None = None,
-                 clock: LogicalClock | None = None) -> None:
+                 clock: LogicalClock | None = None,
+                 statement_timeout: float | None = None,
+                 timer: Callable[[], float] = time.monotonic) -> None:
         if database is not None and data_directory is not None:
             raise ProtocolError(
                 "pass either a Database or a data_directory, not both")
         if database is None:
             database = Database(data_directory=data_directory, clock=clock)
         self.database = database
+        self.statement_timeout = statement_timeout
+        self.timer = timer
         self._connections: dict[int, str] = {}
         self._next_connection_id = 1
         self.started = True
@@ -37,7 +63,14 @@ class DBServer:
     # -- lifecycle -------------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Checkpoint data files and refuse further traffic."""
+        """Checkpoint data files and refuse further traffic.
+
+        Idempotent: a second shutdown is a no-op, and later frames get
+        a ``ConnectionClosedError`` error frame rather than an
+        exception.
+        """
+        if not self.started:
+            return
         self.database.close()
         self.started = False
         self._connections.clear()
@@ -49,13 +82,24 @@ class DBServer:
         return self.handle_wire
 
     def handle_wire(self, request_text: str) -> str:
-        """Handle one encoded frame, returning an encoded response."""
+        """Handle one encoded frame, returning an encoded response.
+
+        Never raises: whatever goes wrong becomes an ``error`` frame.
+        (A :class:`repro.faults.SimulatedCrash` still propagates — it
+        derives from BaseException precisely so that no server-side
+        handler can survive it.)
+        """
         try:
             request = protocol.decode_frame(request_text)
         except ProtocolError as exc:
             return protocol.encode_frame(
                 protocol.error_frame("ProtocolError", str(exc)))
-        response = self.handle(request)
+        try:
+            response = self.handle(request)
+        except Exception as exc:  # the wall: no raw exception on the wire
+            response = protocol.error_frame(
+                type(exc).__name__, str(exc),
+                transient=isinstance(exc, TransientError))
         return protocol.encode_frame(response)
 
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -72,7 +116,9 @@ class DBServer:
             if kind == "close":
                 return self._handle_close(request)
         except DatabaseError as exc:
-            return protocol.error_frame(type(exc).__name__, str(exc))
+            return protocol.error_frame(
+                type(exc).__name__, str(exc),
+                transient=isinstance(exc, TransientError))
         except ReproError as exc:  # pragma: no cover - defensive
             return protocol.error_frame(type(exc).__name__, str(exc))
         return protocol.error_frame(
@@ -93,8 +139,18 @@ class DBServer:
 
     def _handle_query(self, request: dict[str, Any]) -> dict[str, Any]:
         self._require_connection(request)
+        sql = request.get("sql")
+        if not isinstance(sql, str):
+            raise ProtocolError("query frame is missing its sql text")
+        started = self.timer()
         result = self.database.execute(
-            request["sql"], provenance=bool(request.get("provenance")))
+            sql, provenance=bool(request.get("provenance")))
+        if self.statement_timeout is not None:
+            elapsed = self.timer() - started
+            if elapsed > self.statement_timeout:
+                raise StatementTimeout(
+                    f"statement exceeded the {self.statement_timeout}s "
+                    f"budget (took {elapsed:.6f}s)")
         return protocol.result_to_wire(result)
 
     def _handle_close(self, request: dict[str, Any]) -> dict[str, Any]:

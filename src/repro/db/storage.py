@@ -22,6 +22,7 @@ import json
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
+from repro.db.fileio import FileIO
 from repro.db.types import (
     Column,
     Schema,
@@ -33,6 +34,8 @@ from repro.db.types import (
 from repro.errors import CatalogError, ExecutionError, IntegrityError
 
 TABLE_FILE_SUFFIX = ".tbl"
+WAL_FILE_NAME = "wal.log"
+META_FILE_NAME = "checkpoint.json"
 
 
 class HashIndex:
@@ -129,6 +132,47 @@ class HeapTable:
         if self._pk_positions:
             key = tuple(row[i] for i in self._pk_positions)
             self._pk_index.pop(key, None)
+        for index in self.indexes.values():
+            index.remove(rowid, row[index.position])
+
+    def put_row(self, rowid: int, values: Iterable[Any],
+                version: int) -> None:
+        """Idempotently install a row at an explicit rowid/version.
+
+        This is WAL-redo semantics: if the rowid already holds a row
+        (because a checkpoint captured it before the crash), the row is
+        overwritten and all bookkeeping stays consistent — replaying a
+        log twice converges.
+        """
+        row = coerce_row(values, self.schema)
+        if rowid in self.rows:
+            self._detach_row(rowid)
+        if self._pk_positions:
+            key = tuple(row[i] for i in self._pk_positions)
+            holder = self._pk_index.get(key)
+            if holder is not None and holder != rowid:
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in table {self.name}")
+            self._pk_index[key] = rowid
+        self.rows[rowid] = row
+        self.versions[rowid] = version
+        self.next_rowid = max(self.next_rowid, rowid + 1)
+        for index in self.indexes.values():
+            index.add(rowid, row[index.position])
+
+    def remove_row(self, rowid: int) -> None:
+        """Delete a row if present (idempotent WAL-redo delete)."""
+        if rowid in self.rows:
+            self.delete(rowid)
+
+    def _detach_row(self, rowid: int) -> None:
+        """Drop a row's PK and secondary-index entries, then the row."""
+        row = self.rows.pop(rowid)
+        self.versions.pop(rowid, None)
+        if self._pk_positions:
+            key = tuple(row[i] for i in self._pk_positions)
+            if self._pk_index.get(key) == rowid:
+                del self._pk_index[key]
         for index in self.indexes.values():
             index.remove(rowid, row[index.position])
 
@@ -283,17 +327,53 @@ class HeapTable:
 
 
 class DataDirectory:
-    """The on-disk home of a database: one ``.tbl`` file per table."""
+    """The on-disk home of a database: one ``.tbl`` file per table,
+    plus the write-ahead log and the checkpoint metadata file.
 
-    def __init__(self, path: str | Path) -> None:
+    All writes go through an injectable :class:`FileIO`; table files are
+    replaced atomically (temp → fsync → rename) so a crash mid-save
+    never leaves a half-written ``.tbl``.
+    """
+
+    def __init__(self, path: str | Path, io: FileIO | None = None) -> None:
         self.path = Path(path)
+        self.io = io if io is not None else FileIO()
         self.path.mkdir(parents=True, exist_ok=True)
 
     def table_path(self, name: str) -> Path:
         return self.path / f"{name.lower()}{TABLE_FILE_SUFFIX}"
 
+    @property
+    def wal_path(self) -> Path:
+        return self.path / WAL_FILE_NAME
+
+    @property
+    def meta_path(self) -> Path:
+        return self.path / META_FILE_NAME
+
     def save_table(self, table: HeapTable) -> None:
-        self.table_path(table.name).write_text(table.serialize())
+        self.io.atomic_write_bytes(
+            self.table_path(table.name),
+            table.serialize().encode("utf-8"),
+            point="checkpoint.table")
+
+    def save_meta(self, meta: dict) -> None:
+        """Atomically persist checkpoint metadata (the logical clock)."""
+        self.io.atomic_write_bytes(
+            self.meta_path,
+            json.dumps(meta, separators=(",", ":")).encode("utf-8"),
+            point="checkpoint.meta")
+
+    def load_meta(self) -> dict:
+        if not self.meta_path.exists():
+            return {}
+        try:
+            meta = json.loads(self.meta_path.read_text())
+        except ValueError:
+            # the meta file is advisory (the WAL carries the committed
+            # ticks); a torn one is ignored, not fatal
+            return {}
+        return meta if isinstance(meta, dict) else {}
 
     def load_table(self, name: str) -> HeapTable:
         path = self.table_path(name)
@@ -304,7 +384,7 @@ class DataDirectory:
     def drop_table(self, name: str) -> None:
         path = self.table_path(name)
         if path.exists():
-            path.unlink()
+            self.io.unlink(path, point="checkpoint.drop")
 
     def table_names(self) -> list[str]:
         return sorted(

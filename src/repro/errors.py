@@ -2,7 +2,9 @@
 
 Every error raised by this library derives from :class:`ReproError`, so
 callers can catch one base class. Sub-hierarchies mirror the subsystems:
-the relational engine (:class:`DatabaseError` and descendants), the
+the relational engine (:class:`DatabaseError` and descendants, including
+the durability/wire failures :class:`TransientError`,
+:class:`StatementTimeout`, and :class:`WALCorruptionError`), the
 virtual OS (:class:`VosError`), the provenance models
 (:class:`ProvenanceError`), and the LDV packaging/replay core
 (:class:`PackageError`, :class:`ReplayError`).
@@ -53,6 +55,30 @@ class ExecutionError(DatabaseError):
 
 class TransactionError(DatabaseError):
     """Invalid transaction state transition (e.g. commit without begin)."""
+
+
+class TransientError(DatabaseError):
+    """A temporary failure (wire fault, failed fsync) that may succeed
+    if retried.
+
+    :class:`repro.db.client.DBClient` retries these with bounded
+    exponential backoff when given a ``RetryPolicy``; everything else
+    treats them as ordinary database errors.
+    """
+
+
+class StatementTimeout(DatabaseError):
+    """A statement exceeded the server's per-statement time budget."""
+
+
+class WALCorruptionError(DatabaseError):
+    """The write-ahead log is unreadable beyond torn-tail damage.
+
+    Torn tails (a crash mid-append) are *expected* and silently
+    truncated during recovery; this error marks real corruption — a bad
+    magic header, or a record whose checksum validates but whose
+    payload cannot be interpreted.
+    """
 
 
 class ProtocolError(DatabaseError):

@@ -1,0 +1,214 @@
+"""Deterministic fault injection for durability and wire-path testing.
+
+A :class:`FaultInjector` holds a *schedule* of faults keyed on injection
+points — the stable labels the durability layer attaches to every file
+primitive (``"wal.append"``, ``"checkpoint.table.rename"``, …) and the
+wire layer attaches to every transport send. Supported faults:
+
+* **crash** — raise :class:`SimulatedCrash` at the Nth arrival at a
+  point; every later I/O also raises, modelling a dead process whose
+  in-memory state is gone. Tests then rebuild the database from disk.
+* **torn write** — persist only a prefix of the bytes, then crash; the
+  prefix length comes from the seeded RNG (or a fixed fraction), which
+  is how recovery's torn-tail truncation gets exercised.
+* **failed fsync / failed operation** — raise
+  :class:`repro.errors.TransientError` for the first N arrivals, then
+  heal; models flaky disks and is what the client retry path sees.
+* **wire faults** — :class:`FlakyTransport` consults the same schedule
+  (plus an optional seeded failure rate) before forwarding a frame.
+
+Everything is deterministic given the constructor seed and a fixed
+workload: the injector's own RNG is only consulted in a fixed order, and
+:attr:`FaultInjector.trace` records every ``(point, occurrence)`` pair
+reached — a tracing run with no rules discovers the exact set of
+injection points a workload passes through, which the crash-recovery
+matrix then iterates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.db.fileio import FileIO
+from repro.errors import TransientError
+
+CRASH = "crash"
+TORN = "torn"
+FAIL = "fail"
+
+
+class SimulatedCrash(BaseException):
+    """An abrupt, injected process death.
+
+    Deliberately *not* an :class:`Exception` (let alone a
+    :class:`repro.errors.ReproError`): no defensive ``except Exception``
+    in the stack — e.g. the server's never-raise wire handler — may
+    swallow a crash, exactly as no handler survives ``kill -9``.
+    """
+
+
+@dataclass
+class _Rule:
+    point: str
+    occurrence: int
+    action: str
+    fraction: float | None = None
+    times: int = 1
+    fired: int = 0
+
+
+class FaultInjector:
+    """A seeded, replayable schedule of crashes and I/O faults."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.random = random.Random(seed)
+        self.rules: list[_Rule] = []
+        self.trace: list[tuple[str, int]] = []
+        self.crashed = False
+        self._counts: dict[str, int] = {}
+        self._wire_rate = 0.0
+        self._wire_limit = 0
+        self._wire_faults = 0
+
+    # -- schedule construction ---------------------------------------------------
+
+    def crash_at(self, point: str, occurrence: int = 1) -> "FaultInjector":
+        """Die the ``occurrence``-th time ``point`` is reached."""
+        self.rules.append(_Rule(point, occurrence, CRASH))
+        return self
+
+    def torn_write_at(self, point: str, occurrence: int = 1,
+                      fraction: float | None = None) -> "FaultInjector":
+        """Persist a strict prefix of that write, then die."""
+        self.rules.append(_Rule(point, occurrence, TORN, fraction=fraction))
+        return self
+
+    def fail_at(self, point: str, occurrence: int = 1,
+                times: int = 1) -> "FaultInjector":
+        """Raise TransientError for ``times`` arrivals, then heal."""
+        self.rules.append(_Rule(point, occurrence, FAIL, times=times))
+        return self
+
+    # fsync failures are just transient failures on an fsync point
+    fail_fsync_at = fail_at
+
+    def wire_fault_rate(self, rate: float,
+                        limit: int = 3) -> "FaultInjector":
+        """Seeded-random transient wire errors (at most ``limit``)."""
+        self._wire_rate = rate
+        self._wire_limit = limit
+        return self
+
+    # -- the hot path ------------------------------------------------------------
+
+    def reach(self, point: str, size: int | None = None) -> Optional[int]:
+        """Announce arrival at an injection point.
+
+        Returns ``None`` to proceed normally, or a prefix length when a
+        torn write should persist only that many bytes before the crash.
+        Raises :class:`SimulatedCrash` or
+        :class:`repro.errors.TransientError` per the schedule.
+        """
+        if self.crashed:
+            raise SimulatedCrash(f"I/O at {point!r} after simulated crash")
+        count = self._counts.get(point, 0) + 1
+        self._counts[point] = count
+        self.trace.append((point, count))
+        for rule in self.rules:
+            if rule.point != point or rule.occurrence != count:
+                continue
+            if rule.action == CRASH:
+                self.crashed = True
+                raise SimulatedCrash(f"injected crash at {point!r} "
+                                     f"(occurrence {count})")
+            if rule.action == TORN:
+                self.crashed = True
+                fraction = (rule.fraction if rule.fraction is not None
+                            else self.random.random())
+                total = size or 0
+                # a torn write must lose at least one byte to be torn
+                return max(0, min(int(total * fraction), total - 1))
+            if rule.action == FAIL and rule.fired < rule.times:
+                rule.fired += 1
+                raise TransientError(
+                    f"injected transient failure at {point!r} "
+                    f"(occurrence {count})")
+        return None
+
+    def reach_wire(self, point: str) -> None:
+        """Arrival on the wire path: rule faults, then rate faults."""
+        self.reach(point)
+        if (self._wire_rate > 0.0 and self._wire_faults < self._wire_limit
+                and self.random.random() < self._wire_rate):
+            self._wire_faults += 1
+            raise TransientError(f"injected wire fault at {point!r}")
+
+
+class FaultyIO(FileIO):
+    """A :class:`FileIO` that consults an injector before every
+    primitive. Reads are never faulted — a crashed process does not
+    read, and recovery runs on a fresh, healthy IO instance."""
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+
+    def _write_through(self, write: Callable[[bytes], None],
+                       data: bytes, point: str) -> None:
+        prefix = self.injector.reach(point, size=len(data))
+        if prefix is None:
+            write(data)
+            return
+        write(data[:prefix])
+        raise SimulatedCrash(
+            f"torn write at {point!r}: {prefix}/{len(data)} bytes persisted")
+
+    def write_bytes(self, path, data, point="io.write"):
+        self._write_through(
+            lambda chunk: super(FaultyIO, self).write_bytes(
+                path, chunk, point=point),
+            data, point)
+
+    def append_bytes(self, path, data, point="io.append"):
+        self._write_through(
+            lambda chunk: super(FaultyIO, self).append_bytes(
+                path, chunk, point=point),
+            data, point)
+
+    def fsync(self, path, point="io.fsync"):
+        self.injector.reach(point)
+        super().fsync(path, point=point)
+
+    def rename(self, src, dst, point="io.rename"):
+        self.injector.reach(point)
+        super().rename(src, dst, point=point)
+
+    def truncate(self, path, size, point="io.truncate"):
+        self.injector.reach(point)
+        super().truncate(path, size, point=point)
+
+    def unlink(self, path, point="io.unlink"):
+        self.injector.reach(point)
+        super().unlink(path, point=point)
+
+
+class FlakyTransport:
+    """Wrap a client transport with injected transient wire errors.
+
+    >>> transport = FlakyTransport(server.transport(),
+    ...                            FaultInjector(seed=7).fail_at(
+    ...                                "wire.send", occurrence=1))
+    ... # doctest: +SKIP
+    """
+
+    def __init__(self, transport: Callable[[str], str],
+                 injector: FaultInjector, point: str = "wire.send") -> None:
+        self.transport = transport
+        self.injector = injector
+        self.point = point
+
+    def __call__(self, request_text: str) -> str:
+        self.injector.reach_wire(self.point)
+        return self.transport(request_text)

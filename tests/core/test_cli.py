@@ -111,3 +111,44 @@ class TestExecCommand:
         scripts = parser["options.entry_points"]["console_scripts"]
         assert "repro.core.cli:audit_main" in scripts
         assert "repro.core.cli:exec_main" in scripts
+
+
+# a factory whose *body* fails like a corrupted data directory would
+def corrupt_scenario():
+    from repro.errors import WALCorruptionError
+    raise WALCorruptionError(
+        "wal.log does not start with the WAL magic header")
+
+
+CORRUPT_SPEC = f"{__name__}:corrupt_scenario"
+
+
+class TestErrorDiagnostics:
+    """Any ReproError exits non-zero with a one-line diagnostic —
+    never a traceback."""
+
+    def test_audit_reports_wal_corruption(self, tmp_path, capsys):
+        code = audit_main([CORRUPT_SPEC, "--out", str(tmp_path / "pkg")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.count("\n") == 1
+        assert "WALCorruptionError" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.err.startswith("ldv-audit: error:")
+
+    def test_exec_reports_wal_corruption(self, tmp_path, capsys):
+        code = exec_main([str(tmp_path / "ghost"), CORRUPT_SPEC])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.count("\n") == 1
+        assert "WALCorruptionError" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.err.startswith("ldv-exec: error:")
+
+    def test_diagnostic_names_the_failure(self, tmp_path, capsys):
+        code = audit_main(["nope.module:factory",
+                           "--out", str(tmp_path / "pkg")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "ReproError" in captured.err
+        assert "nope" in captured.err

@@ -1,0 +1,211 @@
+"""Wire-path robustness: error frames, timeouts, client retry/backoff."""
+
+import json
+
+import pytest
+
+from repro.db import Database, DBClient, DBServer, RetryPolicy
+from repro.db import protocol
+from repro.errors import (
+    DatabaseError,
+    StatementTimeout,
+    TransientError,
+)
+from repro.faults import FaultInjector, FlakyTransport
+
+
+@pytest.fixture
+def server():
+    database = Database()
+    database.execute("CREATE TABLE t (x integer)")
+    database.execute("INSERT INTO t VALUES (1)")
+    return DBServer(database)
+
+
+def make_client(server, **kwargs):
+    client = DBClient(server.transport(), "app", "p1", **kwargs)
+    client.connect()
+    return client
+
+
+class TestServerErrorWall:
+    def test_malformed_json_returns_error_frame(self, server):
+        response = protocol.decode_frame(server.handle_wire("{not json"))
+        assert response["frame"] == "error"
+        assert response["error_type"] == "ProtocolError"
+
+    def test_untagged_frame_returns_error_frame(self, server):
+        response = protocol.decode_frame(server.handle_wire('{"x": 1}'))
+        assert response["frame"] == "error"
+
+    def test_query_frame_missing_sql_returns_error_frame(self, server):
+        connected = server.handle(protocol.connect_frame("a", "p"))
+        broken = json.dumps({"frame": "query",
+                             "connection_id": connected["connection_id"]})
+        response = protocol.decode_frame(server.handle_wire(broken))
+        assert response["frame"] == "error"
+        assert response["error_type"] == "ProtocolError"
+
+    def test_unexpected_internal_error_becomes_error_frame(self, server):
+        def explode(sql, provenance=False):
+            raise RuntimeError("internal invariant violated")
+
+        server.database.execute = explode
+        connected = server.handle(protocol.connect_frame("a", "p"))
+        request = protocol.encode_frame(protocol.query_frame(
+            connected["connection_id"], "SELECT 1"))
+        response = protocol.decode_frame(server.handle_wire(request))
+        assert response["frame"] == "error"
+        assert response["error_type"] == "RuntimeError"
+
+    def test_traffic_after_shutdown_returns_error_frame(self, server):
+        server.shutdown()
+        request = protocol.encode_frame(protocol.connect_frame("a", "p"))
+        response = protocol.decode_frame(server.handle_wire(request))
+        assert response["frame"] == "error"
+        assert response["error_type"] == "ConnectionClosedError"
+
+    def test_shutdown_is_idempotent(self, server):
+        server.shutdown()
+        server.shutdown()
+        assert not server.started
+
+    def test_transient_error_frame_is_flagged(self, server):
+        def flaky(sql, provenance=False):
+            raise TransientError("disk hiccup")
+
+        server.database.execute = flaky
+        connected = server.handle(protocol.connect_frame("a", "p"))
+        response = server.handle(protocol.query_frame(
+            connected["connection_id"], "SELECT 1"))
+        assert protocol.is_transient_error(response)
+
+
+class TestStatementTimeout:
+    def make_timed_server(self, elapsed):
+        database = Database()
+        database.execute("CREATE TABLE t (x integer)")
+        ticks = iter([0.0, elapsed])
+        return DBServer(database, statement_timeout=1.0,
+                        timer=lambda: next(ticks))
+
+    def test_overrunning_statement_times_out(self):
+        server = self.make_timed_server(elapsed=5.0)
+        client = make_client(server)
+        with pytest.raises(StatementTimeout):
+            client.execute("SELECT x FROM t")
+
+    def test_fast_statement_passes(self):
+        server = self.make_timed_server(elapsed=0.5)
+        client = make_client(server)
+        assert client.execute("SELECT x FROM t").rows == []
+
+    def test_timeout_is_not_marked_transient(self):
+        # retrying a timed-out DML could double-apply it
+        server = self.make_timed_server(elapsed=5.0)
+        connected = server.handle(protocol.connect_frame("a", "p"))
+        response = server.handle(protocol.query_frame(
+            connected["connection_id"], "SELECT x FROM t"))
+        assert response["error_type"] == "StatementTimeout"
+        assert not protocol.is_transient_error(response)
+
+
+class TestClientRetry:
+    def policy(self, **kwargs):
+        delays = []
+        kwargs.setdefault("base_delay", 0.01)
+        policy = RetryPolicy(sleep=delays.append, **kwargs)
+        return policy, delays
+
+    def test_retries_transport_faults_until_success(self, server):
+        injector = FaultInjector().fail_at("wire.send", occurrence=2,
+                                          times=1).fail_at(
+                                              "wire.send", occurrence=3,
+                                              times=1)
+        policy, delays = self.policy(max_attempts=4)
+        client = DBClient(FlakyTransport(server.transport(), injector),
+                          retry_policy=policy)
+        client.connect()  # occurrence 1: clean
+        assert client.query("SELECT x FROM t") == [(1,)]
+        assert client.retries_performed == 2
+        assert delays == [0.01, 0.02]  # exponential backoff
+
+    def test_exhausted_retries_raise_transient_error(self, server):
+        injector = FaultInjector()
+        for occurrence in range(1, 10):
+            injector.fail_at("wire.send", occurrence=occurrence, times=1)
+        policy, delays = self.policy(max_attempts=3)
+        client = DBClient(FlakyTransport(server.transport(), injector),
+                          retry_policy=policy)
+        with pytest.raises(TransientError):
+            client.connect()
+        assert len(delays) == 2  # max_attempts - 1 sleeps
+
+    def test_no_policy_means_no_retry(self, server):
+        injector = FaultInjector().fail_at("wire.send", occurrence=1)
+        client = DBClient(FlakyTransport(server.transport(), injector))
+        with pytest.raises(TransientError):
+            client.connect()
+
+    def test_transient_error_frames_are_retried(self, server):
+        real = server.transport()
+        failures = {"left": 2}
+
+        def sometimes_transient(request_text):
+            frame = protocol.decode_frame(request_text)
+            if frame.get("frame") == "query" and failures["left"] > 0:
+                failures["left"] -= 1
+                return protocol.encode_frame(protocol.error_frame(
+                    "TransientError", "busy", transient=True))
+            return real(request_text)
+
+        policy, delays = self.policy(max_attempts=4)
+        client = DBClient(sometimes_transient, retry_policy=policy)
+        client.connect()
+        assert client.query("SELECT x FROM t") == [(1,)]
+        assert client.retries_performed == 2
+
+    def test_exhausted_transient_frames_raise(self, server):
+        real = server.transport()
+
+        def always_transient(request_text):
+            frame = protocol.decode_frame(request_text)
+            if frame.get("frame") == "query":
+                return protocol.encode_frame(protocol.error_frame(
+                    "TransientError", "busy", transient=True))
+            return real(request_text)
+
+        policy, _ = self.policy(max_attempts=2)
+        client = DBClient(always_transient, retry_policy=policy)
+        client.connect()
+        with pytest.raises(TransientError):
+            client.query("SELECT x FROM t")
+
+    def test_non_transient_errors_are_never_retried(self, server):
+        policy, delays = self.policy(max_attempts=5)
+        client = make_client(server, retry_policy=policy)
+        with pytest.raises(DatabaseError):
+            client.execute("SELECT nope FROM no_such_table")
+        assert delays == []
+
+    def test_backoff_delay_is_capped(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=10.0,
+                             max_delay=0.5, sleep=lambda _: None)
+        assert policy.delay_for(0) == pytest.approx(0.1)
+        assert policy.delay_for(3) == pytest.approx(0.5)
+
+    def test_seeded_wire_faults_reproduce(self, server):
+        def run(seed):
+            injector = FaultInjector(seed=seed).wire_fault_rate(
+                0.4, limit=5)
+            policy = RetryPolicy(max_attempts=10, sleep=lambda _: None)
+            client = DBClient(
+                FlakyTransport(server.transport(), injector),
+                retry_policy=policy)
+            client.connect()
+            for _ in range(5):
+                client.query("SELECT x FROM t")
+            client.close()
+            return client.retries_performed
+
+        assert run(3) == run(3)
