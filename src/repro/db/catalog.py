@@ -10,14 +10,26 @@ from repro.errors import CatalogError
 
 
 class Catalog:
-    """Name → table mapping with optional data-directory backing."""
+    """Name → table mapping with optional data-directory backing.
+
+    ``version`` is a monotonic counter bumped on every schema change
+    (table and index DDL). Plan-cache keys include it, so any cached
+    plan built against an older schema becomes unreachable the moment
+    the schema changes.
+    """
 
     def __init__(self, data_directory: DataDirectory | None = None) -> None:
         self._tables: dict[str, HeapTable] = {}
         self.data_directory = data_directory
+        self.version = 0
         if data_directory is not None:
             for name in data_directory.table_names():
                 self._tables[name] = data_directory.load_table(name)
+
+    def bump_version(self) -> None:
+        """Record a schema change (called for index DDL, which goes
+        through the table object rather than the catalog)."""
+        self.version += 1
 
     def create_table(self, name: str, schema: Schema,
                      if_not_exists: bool = False) -> HeapTable:
@@ -28,6 +40,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         table = HeapTable(key, schema)
         self._tables[key] = table
+        self.version += 1
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -37,6 +50,7 @@ class Catalog:
                 return
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
+        self.version += 1
         # disk removal is deferred to flush()/sync_drops(): destroying
         # durable state belongs to the checkpoint, after the DROP has
         # been committed to the WAL — an uncommitted DROP must be

@@ -32,6 +32,8 @@ every write, fsync, and rename.
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Optional
@@ -45,7 +47,7 @@ from repro.db.planner import PlannedQuery, plan_select
 from repro.db.provtypes import EMPTY_LINEAGE, TupleRef
 from repro.db.sql import ast
 from repro.db.sql.parser import parse_sql
-from repro.db.subquery import expand_statement
+from repro.db.subquery import expand_statement, has_subqueries
 from repro.db.fileio import FileIO
 from repro.db.storage import DataDirectory, HeapTable
 from repro.db.types import (
@@ -84,6 +86,9 @@ class StatementResult:
     written_lineage: dict[TupleRef, frozenset] = field(default_factory=dict)
     deleted: list[TupleRef] = field(default_factory=list)
     source_tables: list[str] = field(default_factory=list)
+    # free-form measurements: EXPLAIN ANALYZE fills "analyze" with
+    # per-operator counters, the server adds wire-side timing
+    stats: dict[str, Any] = field(default_factory=dict)
 
     @property
     def column_names(self) -> list[str]:
@@ -108,6 +113,70 @@ class _UndoLog:
         self.entries.append(("delete", table, rowid, old_values, old_version))
 
 
+class PlanCache:
+    """LRU cache of planned SELECT operator trees.
+
+    Keyed by ``(normalized SQL text, provenance flag, catalog
+    version)``. Including the catalog version makes every cached plan
+    built against an older schema unreachable the moment any DDL runs
+    — DDL handlers additionally :meth:`clear` the cache so stale
+    entries do not linger until LRU eviction.
+
+    Only plain SELECT statements without subqueries are cacheable:
+    subquery expansion inlines executed results into the AST, which
+    depend on table data, not just on the SQL text.
+
+    ``hits`` counts statements served from the cache; ``misses``
+    counts cacheable statements that had to be planned (recorded at
+    :meth:`put` time, so DML and other non-cacheable statements do not
+    inflate the miss counter).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ExecutionError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, PlannedQuery] = OrderedDict()
+
+    @staticmethod
+    def normalize(sql: str) -> str:
+        """Collapse insignificant whitespace so trivially reformatted
+        statements share a cache entry. Statements containing string
+        literals are kept verbatim — whitespace inside quotes is
+        significant and a lexer-free normalizer cannot tell it apart.
+        """
+        if "'" in sql:
+            return sql.strip()
+        return " ".join(sql.split())
+
+    def get(self, key: tuple) -> Optional[PlannedQuery]:
+        planned = self._entries.get(key)
+        if planned is None:
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return planned
+
+    def put(self, key: tuple, planned: PlannedQuery) -> None:
+        self.misses += 1
+        self._entries[key] = planned
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def counters(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._entries)}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class Database:
     """An embedded database instance.
 
@@ -121,13 +190,17 @@ class Database:
     def __init__(self, data_directory: str | Path | None = None,
                  clock: LogicalClock | None = None,
                  autoflush: bool = False,
-                 io: FileIO | None = None) -> None:
+                 io: FileIO | None = None,
+                 timer: Callable[[], float] = time.perf_counter,
+                 plan_cache_size: int = 64) -> None:
         self.io = io if io is not None else FileIO()
         directory = (DataDirectory(data_directory, io=self.io)
                      if data_directory is not None else None)
         self.catalog = Catalog(directory)
         self.clock = clock if clock is not None else LogicalClock()
         self.autoflush = autoflush
+        self.timer = timer
+        self.plan_cache = PlanCache(plan_cache_size)
         self._undo: Optional[_UndoLog] = None
         # WAL batch state: redo records buffered since the last commit
         # marker, and which tables the batch touched/dropped
@@ -141,6 +214,10 @@ class Database:
             self.last_recovery = self.wal.open()
             self._replay_recovered(self.last_recovery)
             self._restore_clock(directory, self.last_recovery)
+            # recovery may have replayed DDL; plans cached before it
+            # (none today — the cache is born empty — but guard the
+            # invariant against future pre-warm refactors)
+            self.plan_cache.clear()
         # file access hooks so a virtual OS can interpose COPY I/O
         self.read_file: Callable[[str], str] = (
             lambda path: Path(path).read_text())
@@ -252,12 +329,45 @@ class Database:
     # -- public API --------------------------------------------------------------
 
     def execute(self, sql: str, provenance: bool = False) -> StatementResult:
-        """Execute exactly one SQL statement."""
+        """Execute exactly one SQL statement.
+
+        Repeated SELECT texts hit the plan cache and skip parse+plan
+        entirely; see :class:`PlanCache` for the keying rules.
+        """
+        key = (PlanCache.normalize(sql), bool(provenance),
+               self.catalog.version)
+        planned = self.plan_cache.get(key)
+        if planned is not None:
+            return self._run_planned_select(planned)
         statements = parse_sql(sql)
         if len(statements) != 1:
             raise SQLSyntaxError(
                 f"execute() expects one statement, got {len(statements)}")
-        return self.execute_statement(statements[0], provenance)
+        statement = statements[0]
+        if self._plan_cacheable(statement):
+            track = provenance or statement.provenance
+            planned = plan_select(statement, self.catalog, track)
+            self.plan_cache.put(key, planned)
+            return self._run_planned_select(planned)
+        return self.execute_statement(statement, provenance)
+
+    @staticmethod
+    def _plan_cacheable(statement: ast.Statement) -> bool:
+        """Plain SELECTs without subqueries may be cached; everything
+        else (DML, DDL, UNION, EXPLAIN, subqueries) plans per call."""
+        if not isinstance(statement, ast.Select):
+            return False
+        expressions: list[Optional[ast.Expression]] = [
+            statement.where, statement.having]
+        expressions.extend(item.expression for item in statement.items)
+        expressions.extend(statement.group_by)
+        expressions.extend(item.expression for item in statement.order_by)
+        for source in statement.sources:
+            while isinstance(source, ast.Join):
+                expressions.append(source.condition)
+                source = source.left
+        return not any(has_subqueries(expression)
+                       for expression in expressions)
 
     def execute_script(self, sql: str) -> list[StatementResult]:
         """Execute a multi-statement script, returning all results."""
@@ -373,6 +483,12 @@ class Database:
     def _execute_select(self, select: ast.Select,
                         track_lineage: bool) -> StatementResult:
         planned = plan_select(select, self.catalog, track_lineage)
+        return self._run_planned_select(planned)
+
+    def _run_planned_select(self, planned: PlannedQuery) -> StatementResult:
+        """Pull a planned operator tree to completion. Plans are
+        re-iterable (scans read current table state on each run), which
+        is what makes serving them from the cache sound."""
         rows: list[tuple] = []
         lineages: list[frozenset] = []
         for values, lineage in planned.root:
@@ -381,7 +497,7 @@ class Database:
         return StatementResult(
             kind="select", schema=planned.schema, rows=rows,
             lineages=lineages, rowcount=len(rows),
-            source_tables=planned.source_tables)
+            source_tables=list(planned.source_tables))
 
     def _execute_setop(self, setop: ast.SetOp,
                        track_lineage: bool) -> StatementResult:
@@ -399,17 +515,34 @@ class Database:
             source_tables=planned.source_tables)
 
     def _execute_explain(self, explain: ast.Explain) -> StatementResult:
-        from repro.db.planner import explain_plan
+        from repro.db.executor import instrument_plan
+        from repro.db.planner import analyze_stats, explain_plan
 
+        # always planned fresh, never from the cache: ANALYZE rewires
+        # the tree in place with Instrumented wrappers
         planned = plan_select(explain.query, self.catalog, False)
-        lines = explain_plan(planned.root)
+        root = planned.root
+        stats: dict[str, Any] = {}
+        if explain.analyze:
+            root = instrument_plan(root, self.timer)
+            for _ in root:  # run the query, discarding its output
+                pass
+            operators = analyze_stats(root)
+            stats["analyze"] = {
+                "operators": operators,
+                "rows": operators[0]["rows"] if operators else 0,
+                "total_seconds": (operators[0]["seconds"]
+                                  if operators else 0.0),
+            }
+        lines = explain_plan(root)
         return StatementResult(
             kind="explain",
             schema=Schema([Column("plan", SQLType.TEXT)]),
             rows=[(line,) for line in lines],
             lineages=[EMPTY_LINEAGE] * len(lines),
             rowcount=len(lines),
-            source_tables=planned.source_tables)
+            source_tables=planned.source_tables,
+            stats=stats)
 
     # -- INSERT --------------------------------------------------------------------
 
@@ -538,6 +671,7 @@ class Database:
         table = self.catalog.create_table(
             create.table, Schema(columns), create.if_not_exists)
         if not existed:
+            self.plan_cache.clear()
             self._touched_tables.add(table.name)
             self._log_ddl({"op": "create_table", "table": table.name,
                            "columns": schema_to_wire(table.schema)})
@@ -547,6 +681,7 @@ class Database:
         existed = self.catalog.has_table(drop.table)
         self.catalog.drop_table(drop.table, drop.if_exists)
         if existed:
+            self.plan_cache.clear()
             key = drop.table.lower()
             self._dropped_tables.add(key)
             self._touched_tables.discard(key)
@@ -562,6 +697,8 @@ class Database:
         table = self.catalog.get_table(create.table)
         index = table.create_index(create.name, create.column,
                                    create.if_not_exists)
+        self.catalog.bump_version()
+        self.plan_cache.clear()
         self._touched_tables.add(table.name)
         self._log_ddl({"op": "create_index", "table": table.name,
                        "name": index.name, "column": index.column})
@@ -575,6 +712,8 @@ class Database:
             raise CatalogError(f"index {drop.name!r} does not exist")
         table = self.catalog.table_of_index(drop.name)
         table.drop_index(drop.name)
+        self.catalog.bump_version()
+        self.plan_cache.clear()
         self._touched_tables.add(table.name)
         self._log_ddl({"op": "drop_index", "name": drop.name.lower()})
         return StatementResult(kind="drop", source_tables=[table.name])
@@ -650,4 +789,9 @@ class Database:
                     if table._pk_positions:
                         key = tuple(values[i] for i in table._pk_positions)
                         table._pk_index[key] = rowid
+                    # secondary indexes must follow the identity move,
+                    # or later IndexScans dereference a dead rowid
+                    for index in table.indexes.values():
+                        index.remove(restored, values[index.position])
+                        index.add(rowid, values[index.position])
         return StatementResult(kind="txn")

@@ -5,6 +5,12 @@ Every operator is an iterator over ``(values, lineage)`` pairs where
 ``frozenset[TupleRef]`` (empty when lineage tracking is disabled, so
 downstream code never needs a None check).
 
+Operators compile their expressions **once in __init__** via
+:func:`repro.db.expressions.compile_expression` — the per-row work is
+a chain of closures, not an AST walk (see docs/engine-internals.md).
+:class:`Instrumented` wraps any operator transparently to record rows
+produced and wall time for ``EXPLAIN ANALYZE``.
+
 Lineage propagation implements the paper's Lineage semantics (the
 set-of-contributing-input-tuples abstraction of the semiring framework,
 Section VI-A):
@@ -83,11 +89,12 @@ class IndexScan(Operator):
         self.schema = table.schema.qualified(qualifier)
         self.index = index
         self.value_expression = value_expression
+        self._value_fn = exprs.compile_expression(value_expression,
+                                                  Schema([]))
         self.track_lineage = track_lineage
 
     def __iter__(self) -> Iterator[Annotated]:
-        value = exprs.Evaluator(Schema([])).evaluate(
-            self.value_expression, ())
+        value = self._value_fn(())
         name = self.table.name
         versions = self.table.versions
         for rowid in sorted(self.index.lookup(value)):
@@ -106,13 +113,12 @@ class Filter(Operator):
         self.child = child
         self.schema = child.schema
         self.predicate = predicate
-        self._evaluator = exprs.Evaluator(child.schema)
+        self._matches = exprs.compile_predicate(predicate, child.schema)
 
     def __iter__(self) -> Iterator[Annotated]:
-        matches = self._evaluator.matches
-        predicate = self.predicate
+        matches = self._matches
         for values, lineage in self.child:
-            if matches(predicate, values):
+            if matches(values):
                 yield values, lineage
 
 
@@ -125,14 +131,13 @@ class Project(Operator):
         self.child = child
         self.schema = output_schema
         self.output_expressions = output_expressions
-        self._evaluator = exprs.Evaluator(child.schema)
+        self._output_fns = [exprs.compile_expression(expression, child.schema)
+                            for expression in output_expressions]
 
     def __iter__(self) -> Iterator[Annotated]:
-        evaluate = self._evaluator.evaluate
-        output_expressions = self.output_expressions
+        output_fns = self._output_fns
         for values, lineage in self.child:
-            out = tuple(evaluate(expression, values)
-                        for expression in output_expressions)
+            out = tuple(fn(values) for fn in output_fns)
             yield out, lineage
 
 
@@ -161,32 +166,33 @@ class HashJoin(Operator):
         self.kind = kind
         self.residual = residual
         self.schema = left.schema.concat(right.schema)
-        self._left_eval = exprs.Evaluator(left.schema)
-        self._right_eval = exprs.Evaluator(right.schema)
-        self._out_eval = exprs.Evaluator(self.schema)
+        self._left_key_fns = [exprs.compile_expression(expression, left.schema)
+                              for expression in left_keys]
+        self._right_key_fns = [exprs.compile_expression(expression,
+                                                        right.schema)
+                               for expression in right_keys]
+        self._residual_fn = (exprs.compile_predicate(residual, self.schema)
+                             if residual is not None else None)
 
     def __iter__(self) -> Iterator[Annotated]:
         build: dict[tuple, list[Annotated]] = {}
-        right_eval = self._right_eval.evaluate
+        right_key_fns = self._right_key_fns
         for values, lineage in self.right:
-            key = tuple(right_eval(expression, values)
-                        for expression in self.right_keys)
+            key = tuple(fn(values) for fn in right_key_fns)
             if any(part is None for part in key):
                 continue  # NULL never equi-joins
             build.setdefault(key, []).append((values, lineage))
-        left_eval = self._left_eval.evaluate
-        matches = self._out_eval.matches
-        residual = self.residual
+        left_key_fns = self._left_key_fns
+        residual = self._residual_fn
         right_width = len(self.right.schema)
         null_pad = (None,) * right_width
         for values, lineage in self.left:
-            key = tuple(left_eval(expression, values)
-                        for expression in self.left_keys)
+            key = tuple(fn(values) for fn in left_key_fns)
             produced = False
             if not any(part is None for part in key):
                 for right_values, right_lineage in build.get(key, ()):
                     joined = values + right_values
-                    if residual is not None and not matches(residual, joined):
+                    if residual is not None and not residual(joined):
                         continue
                     produced = True
                     yield joined, lineage | right_lineage
@@ -207,19 +213,19 @@ class NestedLoopJoin(Operator):
         self.condition = condition
         self.kind = kind
         self.schema = left.schema.concat(right.schema)
-        self._evaluator = exprs.Evaluator(self.schema)
+        self._condition_fn = (exprs.compile_predicate(condition, self.schema)
+                              if condition is not None else None)
 
     def __iter__(self) -> Iterator[Annotated]:
         right_rows = list(self.right)
-        matches = self._evaluator.matches
-        condition = self.condition
+        condition = self._condition_fn
         right_width = len(self.right.schema)
         null_pad = (None,) * right_width
         for values, lineage in self.left:
             produced = False
             for right_values, right_lineage in right_rows:
                 joined = values + right_values
-                if condition is not None and not matches(condition, joined):
+                if condition is not None and not condition(joined):
                     continue
                 produced = True
                 yield joined, lineage | right_lineage
@@ -260,15 +266,34 @@ class GroupAggregate(Operator):
             for call in exprs.find_aggregates(expression):
                 aggregate_calls[call] = None
         self.aggregate_calls = list(aggregate_calls)
-        self._input_eval = exprs.Evaluator(child.schema)
+        self._group_fns = [exprs.compile_expression(expression, child.schema)
+                           for expression in group_expressions]
+        # COUNT(*) feeds the whole row; other aggregates compile their
+        # single argument expression once
+        self._input_fns = [
+            None if (len(call.args) == 1
+                     and isinstance(call.args[0], ast.Star))
+            else exprs.compile_expression(call.args[0], child.schema)
+            for call in self.aggregate_calls]
+        # aggregate results and group-key values are rebound per group
+        # through slots; the output/HAVING closures are compiled once
+        self._slots = exprs.BindingSlots(
+            self.aggregate_calls + list(group_expressions))
+        self._output_fns = [
+            exprs.compile_expression(expression, child.schema, self._slots)
+            for expression in output_expressions]
+        self._having_fn = (
+            exprs.compile_predicate(having, child.schema, self._slots)
+            if having is not None else None)
+        self._empty_representative = (None,) * len(child.schema)
 
     def __iter__(self) -> Iterator[Annotated]:
-        evaluate = self._input_eval.evaluate
+        group_fns = self._group_fns
+        input_fns = self._input_fns
         groups: dict[tuple, dict[str, Any]] = {}
         order: list[tuple] = []
         for values, lineage in self.child:
-            key = tuple(evaluate(expression, values)
-                        for expression in self.group_expressions)
+            key = tuple(fn(values) for fn in group_fns)
             state = groups.get(key)
             if state is None:
                 state = {
@@ -279,12 +304,12 @@ class GroupAggregate(Operator):
                 }
                 groups[key] = state
                 order.append(key)
-            for call, accumulator in zip(self.aggregate_calls,
-                                         state["accumulators"]):
-                if len(call.args) == 1 and isinstance(call.args[0], ast.Star):
+            for input_fn, accumulator in zip(input_fns,
+                                             state["accumulators"]):
+                if input_fn is None:
                     accumulator.add(values)  # COUNT(*): every row counts
                 else:
-                    accumulator.add(evaluate(call.args[0], values))
+                    accumulator.add(input_fn(values))
             state["lineage"].update(lineage)
         if not groups and not self.group_expressions:
             # global aggregate over empty input still yields one row
@@ -296,23 +321,21 @@ class GroupAggregate(Operator):
             }
             groups[()] = state
             order.append(())
+        slots = self._slots
         for key in order:
             state = groups[key]
-            bindings: dict[ast.Expression, Any] = {}
             for call, accumulator in zip(self.aggregate_calls,
                                          state["accumulators"]):
-                bindings[call] = accumulator.result()
+                slots.assign(call, accumulator.result())
             for expression, value in zip(self.group_expressions, key):
-                bindings[expression] = value
-            out_eval = exprs.Evaluator(self.child.schema, bindings)
+                slots.assign(expression, value)
             representative = state["representative"]
             if representative is None:
-                representative = (None,) * len(self.child.schema)
-            if self.having is not None and not out_eval.matches(
-                    self.having, representative):
+                representative = self._empty_representative
+            if self._having_fn is not None and not self._having_fn(
+                    representative):
                 continue
-            out = tuple(out_eval.evaluate(expression, representative)
-                        for expression in self.output_expressions)
+            out = tuple(fn(representative) for fn in self._output_fns)
             yield out, frozenset(state["lineage"])
 
 
@@ -374,13 +397,18 @@ class Sort(Operator):
         self.child = child
         self.schema = child.schema
         self.keys = keys
+        self._key_plan = [(self._make_key(index), descending)
+                          for index, descending in keys]
+
+    @staticmethod
+    def _make_key(index: int) -> Callable[[Annotated], "_SortKey"]:
+        return lambda item: _SortKey(item[0][index])
 
     def __iter__(self) -> Iterator[Annotated]:
         rows = list(self.child)
         # stable multi-key sort: apply keys from last to first
-        for index, descending in reversed(self.keys):
-            rows.sort(key=lambda item: _SortKey(item[0][index]),
-                      reverse=descending)
+        for key_fn, descending in reversed(self._key_plan):
+            rows.sort(key=key_fn, reverse=descending)
         return iter(rows)
 
 
@@ -457,3 +485,64 @@ class MaterializedSource(Operator):
 
     def __iter__(self) -> Iterator[Annotated]:
         return iter(self.rows)
+
+
+class Instrumented(Operator):
+    """Transparent wrapper recording rows produced and wall time.
+
+    EXPLAIN ANALYZE wraps every operator in the plan with one of
+    these. Time is charged per ``next()`` call, so a blocking operator
+    (Sort, GroupAggregate) attributes its materialization cost to its
+    own first row rather than to its parent. The clock is injectable
+    for deterministic tests.
+    """
+
+    def __init__(self, inner: Operator,
+                 timer: Callable[[], float]) -> None:
+        self.inner = inner
+        self.schema = inner.schema
+        self.timer = timer
+        self.rows = 0
+        self.total_seconds = 0.0
+        self.loops = 0
+
+    def __iter__(self) -> Iterator[Annotated]:
+        self.loops += 1
+        timer = self.timer
+        started = timer()
+        # iter() is inside the timed region: operators that materialize
+        # eagerly in __iter__ (Sort) must charge that work to themselves
+        iterator = iter(self.inner)
+        self.total_seconds += timer() - started
+        while True:
+            started = timer()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                self.total_seconds += timer() - started
+                return
+            self.total_seconds += timer() - started
+            self.rows += 1
+            yield item
+
+
+_CHILD_ATTRS = ("child", "left", "right", "inner")
+
+
+def instrument_plan(root: Operator,
+                    timer: Callable[[], float]) -> Instrumented:
+    """Wrap every operator in ``root``'s tree with :class:`Instrumented`.
+
+    Mutates the tree in place (re-pointing child attributes), so it
+    must only be applied to a freshly built plan — never to one served
+    from the plan cache.
+    """
+    for attribute in _CHILD_ATTRS:
+        child = getattr(root, attribute, None)
+        if isinstance(child, Operator):
+            setattr(root, attribute, instrument_plan(child, timer))
+    children = getattr(root, "children", None)
+    if isinstance(children, list):
+        root.children = [instrument_plan(child, timer)
+                        for child in children]
+    return Instrumented(root, timer)

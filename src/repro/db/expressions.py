@@ -1,22 +1,37 @@
 """Expression evaluation with SQL three-valued logic.
 
-The central class is :class:`Evaluator`: bound to a :class:`Schema`, it
-compiles column references to row positions once and then evaluates an
-AST expression against rows. NULL (``None``) propagates through
-arithmetic and comparisons; ``AND``/``OR`` follow Kleene logic; filters
-treat an unknown result as false.
+Two evaluation strategies share one set of semantics:
+
+* :class:`Evaluator` interprets an AST expression against rows,
+  re-walking the tree per row. It remains the reference implementation
+  and the path used for one-shot evaluation (INSERT literals, UPDATE
+  assignments, WAL replay).
+* :func:`compile_expression` lowers an AST once into nested Python
+  closures — column references become tuple indexing, constants are
+  bound, comparisons and arithmetic become direct operator calls — so
+  the per-row cost is a chain of function calls with no dispatch on
+  node types. The executor's operators compile their expressions once
+  in ``__init__`` and call the closures per row.
+
+Both paths implement identical semantics: NULL (``None``) propagates
+through arithmetic and comparisons; ``AND``/``OR`` follow Kleene
+logic; filters treat an unknown result as false.
 
 Aggregate functions are *not* evaluated here — the aggregate operator in
 :mod:`repro.db.executor` drives :class:`Accumulator` objects created by
 :func:`make_accumulator` and evaluates the aggregate's argument
-expression per input row via an Evaluator.
+expression per input row. Aggregate *results* flow back into compiled
+select-list/HAVING expressions through :class:`BindingSlots`.
 """
 
 from __future__ import annotations
 
+import operator as _operator
 import re
+from contextlib import contextmanager
+from decimal import Decimal, InvalidOperation, ROUND_CEILING, ROUND_FLOOR, ROUND_HALF_UP
 from functools import lru_cache
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.db.sql import ast
 from repro.db.types import Schema
@@ -136,14 +151,49 @@ def _fn_substr(value: str, start: int, length: int | None = None) -> str:
     return str(value)[begin:begin + length]
 
 
+def _as_decimal(value: Any) -> Decimal:
+    """Exact decimal view of a numeric value.
+
+    Floats go through ``str()`` (the shortest round-tripping decimal),
+    so ``round(0.285, 2)`` sees the decimal ``0.285`` the user wrote,
+    not the binary ``0.28499999999999998`` underneath it — the SQL
+    NUMERIC reading that money columns need.
+    """
+    if isinstance(value, Decimal):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return Decimal(value)
+    try:
+        return Decimal(str(value))
+    except InvalidOperation as exc:
+        raise ExecutionError(
+            f"cannot use {value!r} as a number") from exc
+
+
+def _fn_round(value: Any, digits: Any = 0) -> Any:
+    quantum = Decimal(1).scaleb(-int(digits))
+    rounded = _as_decimal(value).quantize(quantum, rounding=ROUND_HALF_UP)
+    if isinstance(value, Decimal):
+        return rounded
+    return float(rounded)
+
+
+def _fn_floor(value: Any) -> int:
+    return int(_as_decimal(value).to_integral_value(rounding=ROUND_FLOOR))
+
+
+def _fn_ceil(value: Any) -> int:
+    return int(_as_decimal(value).to_integral_value(rounding=ROUND_CEILING))
+
+
 SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
     "upper": _null_guard(lambda v: str(v).upper()),
     "lower": _null_guard(lambda v: str(v).lower()),
     "length": _null_guard(lambda v: len(str(v))),
     "abs": _null_guard(abs),
-    "round": _null_guard(lambda v, digits=0: round(float(v), int(digits))),
-    "floor": _null_guard(lambda v: int(float(v) // 1)),
-    "ceil": _null_guard(lambda v: -int(-float(v) // 1)),
+    "round": _null_guard(_fn_round),
+    "floor": _null_guard(_fn_floor),
+    "ceil": _null_guard(_fn_ceil),
     "mod": _null_guard(lambda a, b: a % b),
     "coalesce": _fn_coalesce,
     "substr": _null_guard(_fn_substr),
@@ -495,3 +545,329 @@ class Evaluator:
             raise ExecutionError(f"unknown function {node.name!r}")
         args = [self.evaluate(arg, row) for arg in node.args]
         return fn(*args)
+
+
+# ---------------------------------------------------------------------------
+# Compiled expressions
+# ---------------------------------------------------------------------------
+
+
+class BindingSlots:
+    """Mutable value slots for expressions bound outside the row.
+
+    The aggregate operator computes aggregate results (and group-key
+    values) per group, then evaluates select-list/HAVING expressions
+    that *contain* those sub-expressions. Compilation resolves each
+    bound sub-expression to a slot index once; per group the operator
+    only rewrites ``values`` and re-calls the compiled closures.
+    """
+
+    def __init__(self, expressions: Iterable[ast.Expression]) -> None:
+        self.index: dict[ast.Expression, int] = {}
+        for expression in expressions:
+            if expression not in self.index:
+                self.index[expression] = len(self.index)
+        self.values: list[Any] = [None] * len(self.index)
+
+    def assign(self, expression: ast.Expression, value: Any) -> None:
+        self.values[self.index[expression]] = value
+
+    def as_bindings(self) -> "_SlotView":
+        return _SlotView(self)
+
+
+class _SlotView:
+    """A live mapping view of :class:`BindingSlots` for the interpreter
+    fallback (duck-types the ``bindings`` dict an Evaluator expects)."""
+
+    def __init__(self, slots: BindingSlots) -> None:
+        self._slots = slots
+
+    def __contains__(self, expression: object) -> bool:
+        return expression in self._slots.index
+
+    def __getitem__(self, expression: ast.Expression) -> Any:
+        return self._slots.values[self._slots.index[expression]]
+
+    def __len__(self) -> int:
+        return len(self._slots.index)
+
+
+# Benchmarks flip this to quantify the compiled path against the
+# interpreter on identical plans; production code never touches it.
+_INTERPRET_ONLY = False
+
+
+@contextmanager
+def interpreted_expressions():
+    """Force operators planned inside the block onto the interpreter."""
+    global _INTERPRET_ONLY
+    previous = _INTERPRET_ONLY
+    _INTERPRET_ONLY = True
+    try:
+        yield
+    finally:
+        _INTERPRET_ONLY = previous
+
+
+RowFunction = Callable[[tuple], Any]
+
+_COMPARISONS: dict[str, Callable[[Any, Any], Any]] = {
+    "=": _operator.eq,
+    "<>": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+
+
+def compile_expression(expression: ast.Expression, schema: Schema,
+                       slots: BindingSlots | None = None) -> RowFunction:
+    """Lower ``expression`` once into a closure over rows of ``schema``.
+
+    The returned callable has exactly the semantics of
+    ``Evaluator(schema).evaluate(expression, row)`` (NULL propagation,
+    Kleene logic, SQL integer division, scalar functions) without
+    re-walking the AST per row. Sub-expressions present in ``slots``
+    compile to slot reads, mirroring the Evaluator's ``bindings``.
+
+    Name-resolution errors (unknown/ambiguous columns) surface at
+    compile time — i.e. at plan time — instead of on the first row.
+    """
+    if _INTERPRET_ONLY:
+        evaluator = Evaluator(
+            schema, slots.as_bindings() if slots is not None else None)
+        return lambda row: evaluator.evaluate(expression, row)
+    return _compile(expression, schema, slots)
+
+
+def compile_predicate(expression: ast.Expression, schema: Schema,
+                      slots: BindingSlots | None = None
+                      ) -> Callable[[tuple], bool]:
+    """Like :func:`compile_expression` with filter semantics: the
+    result is ``True`` only for SQL TRUE (unknown counts as false)."""
+    fn = compile_expression(expression, schema, slots)
+    return lambda row: fn(row) is True
+
+
+def _compile(node: ast.Expression, schema: Schema,
+             slots: BindingSlots | None) -> RowFunction:
+    if slots is not None and node in slots.index:
+        values = slots.values
+        position = slots.index[node]
+        return lambda row: values[position]
+    if isinstance(node, ast.Literal):
+        value = node.value
+        return lambda row: value
+    if isinstance(node, ast.ColumnRef):
+        return _operator.itemgetter(schema.index_of(node.name,
+                                                    node.qualifier))
+    if isinstance(node, ast.BinaryOp):
+        return _compile_binary(node, schema, slots)
+    if isinstance(node, ast.UnaryOp):
+        return _compile_unary(node, schema, slots)
+    if isinstance(node, ast.Between):
+        return _compile_between(node, schema, slots)
+    if isinstance(node, ast.Like):
+        return _compile_like(node, schema, slots)
+    if isinstance(node, ast.InList):
+        return _compile_in(node, schema, slots)
+    if isinstance(node, ast.IsNull):
+        operand = _compile(node.operand, schema, slots)
+        if node.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+    if isinstance(node, ast.FunctionCall):
+        return _compile_function(node, schema, slots)
+    if isinstance(node, ast.CaseWhen):
+        return _compile_case(node, schema, slots)
+    if isinstance(node, ast.Star):
+        raise ExecutionError("'*' is only valid in select lists/COUNT")
+    raise ExecutionError(
+        f"cannot evaluate expression node {type(node).__name__}")
+
+
+def _compile_binary(node: ast.BinaryOp, schema: Schema,
+                    slots: BindingSlots | None) -> RowFunction:
+    op = node.op
+    left = _compile(node.left, schema, slots)
+    right = _compile(node.right, schema, slots)
+    if op == "and":
+        def kleene_and(row: tuple) -> Any:
+            lhs = left(row)
+            if lhs is False:
+                return False
+            rhs = right(row)
+            if rhs is False:
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return True
+        return kleene_and
+    if op == "or":
+        def kleene_or(row: tuple) -> Any:
+            lhs = left(row)
+            if lhs is True:
+                return True
+            rhs = right(row)
+            if rhs is True:
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+        return kleene_or
+    comparison = _COMPARISONS.get(op)
+    if comparison is not None:
+        def compare(row: tuple) -> Any:
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is None or rhs is None:
+                return None
+            try:
+                return comparison(lhs, rhs)
+            except TypeError as exc:
+                raise ExecutionError(
+                    f"cannot compare {lhs!r} and {rhs!r}") from exc
+        return compare
+    if op in ("+", "-", "*"):
+        arith = {"+": _operator.add, "-": _operator.sub,
+                 "*": _operator.mul}[op]
+        def arithmetic(row: tuple) -> Any:
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is None or rhs is None:
+                return None
+            try:
+                return arith(lhs, rhs)
+            except TypeError as exc:
+                raise ExecutionError(
+                    f"bad operand types for {op!r}: {lhs!r}, {rhs!r}"
+                ) from exc
+        return arithmetic
+    if op in ("/", "%", "||"):
+        def general(row: tuple) -> Any:
+            return _arith(op, left(row), right(row))
+        return general
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def _compile_unary(node: ast.UnaryOp, schema: Schema,
+                   slots: BindingSlots | None) -> RowFunction:
+    operand = _compile(node.operand, schema, slots)
+    if node.op == "not":
+        def negate(row: tuple) -> Any:
+            value = operand(row)
+            if value is None:
+                return None
+            return not value
+        return negate
+    if node.op == "-":
+        def minus(row: tuple) -> Any:
+            value = operand(row)
+            if value is None:
+                return None
+            return -value
+        return minus
+    raise ExecutionError(f"unknown unary operator {node.op!r}")
+
+
+def _compile_between(node: ast.Between, schema: Schema,
+                     slots: BindingSlots | None) -> RowFunction:
+    operand = _compile(node.operand, schema, slots)
+    low = _compile(node.low, schema, slots)
+    high = _compile(node.high, schema, slots)
+    negated = node.negated
+
+    def between(row: tuple) -> Any:
+        value = operand(row)
+        lower_ok = _compare(">=", value, low(row))
+        upper_ok = _compare("<=", value, high(row))
+        if lower_ok is False or upper_ok is False:
+            result: Any = False
+        elif lower_ok is None or upper_ok is None:
+            return None
+        else:
+            result = True
+        return (not result) if negated else result
+    return between
+
+
+def _compile_like(node: ast.Like, schema: Schema,
+                  slots: BindingSlots | None) -> RowFunction:
+    operand = _compile(node.operand, schema, slots)
+    negated = node.negated
+    if isinstance(node.pattern, ast.Literal) and node.pattern.value is not None:
+        regex = _like_regex(str(node.pattern.value))
+
+        def like_constant(row: tuple) -> Any:
+            value = operand(row)
+            if value is None:
+                return None
+            result = regex.match(str(value)) is not None
+            return (not result) if negated else result
+        return like_constant
+    pattern = _compile(node.pattern, schema, slots)
+
+    def like(row: tuple) -> Any:
+        result = sql_like(operand(row), pattern(row))
+        if result is None:
+            return None
+        return (not result) if negated else result
+    return like
+
+
+def _compile_in(node: ast.InList, schema: Schema,
+                slots: BindingSlots | None) -> RowFunction:
+    operand = _compile(node.operand, schema, slots)
+    negated = node.negated
+    item_fns = [_compile(item, schema, slots) for item in node.items]
+
+    def in_list(row: tuple) -> Any:
+        value = operand(row)
+        if value is None:
+            return None
+        saw_null = False
+        for item_fn in item_fns:
+            candidate = item_fn(row)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return False if negated else True
+        if saw_null:
+            return None
+        return True if negated else False
+    return in_list
+
+
+def _compile_function(node: ast.FunctionCall, schema: Schema,
+                      slots: BindingSlots | None) -> RowFunction:
+    if node.name in AGGREGATE_NAMES:
+        raise ExecutionError(
+            f"aggregate {node.name}() used outside GROUP BY context")
+    fn = SCALAR_FUNCTIONS.get(node.name)
+    if fn is None:
+        raise ExecutionError(f"unknown function {node.name!r}")
+    arg_fns = [_compile(arg, schema, slots) for arg in node.args]
+    if len(arg_fns) == 1:
+        only = arg_fns[0]
+        return lambda row: fn(only(row))
+    return lambda row: fn(*(arg_fn(row) for arg_fn in arg_fns))
+
+
+def _compile_case(node: ast.CaseWhen, schema: Schema,
+                  slots: BindingSlots | None) -> RowFunction:
+    branches = [(_compile(condition, schema, slots),
+                 _compile(value, schema, slots))
+                for condition, value in node.branches]
+    otherwise = (_compile(node.otherwise, schema, slots)
+                 if node.otherwise is not None else None)
+
+    def case(row: tuple) -> Any:
+        for condition_fn, value_fn in branches:
+            if condition_fn(row) is True:
+                return value_fn(row)
+        if otherwise is not None:
+            return otherwise(row)
+        return None
+    return case

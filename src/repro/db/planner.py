@@ -25,6 +25,7 @@ from repro.db.executor import (
     GroupAggregate,
     HashJoin,
     IndexScan,
+    Instrumented,
     Limit,
     NestedLoopJoin,
     Operator,
@@ -48,10 +49,23 @@ class PlannedQuery:
 
 
 def explain_plan(root: Operator) -> list[str]:
-    """Render an operator tree as indented EXPLAIN lines."""
+    """Render an operator tree as indented EXPLAIN lines.
+
+    :class:`Instrumented` wrappers (EXPLAIN ANALYZE) are transparent:
+    the wrapped operator is described, with its measured row count and
+    wall time appended as ``(rows=N time=T ms)``.
+    """
     lines: list[str] = []
 
     def describe(operator: Operator) -> str:
+        suffix = ""
+        if isinstance(operator, Instrumented):
+            suffix = (f" (rows={operator.rows} "
+                      f"time={operator.total_seconds * 1000.0:.3f} ms)")
+            operator = operator.inner
+        return describe_bare(operator) + suffix
+
+    def describe_bare(operator: Operator) -> str:
         name = type(operator).__name__
         if isinstance(operator, SeqScan):
             return f"SeqScan on {operator.table.name}"
@@ -84,13 +98,57 @@ def explain_plan(root: Operator) -> list[str]:
 
     def walk(operator: Operator, depth: int) -> None:
         lines.append("  " * depth + describe(operator))
+        if isinstance(operator, Instrumented):
+            operator = operator.inner
         for attr in ("child", "left", "right"):
             node = getattr(operator, attr, None)
-            if node is not None:
+            if isinstance(node, Operator):
+                walk(node, depth + 1)
+        children = getattr(operator, "children", None)
+        if isinstance(children, list):
+            for node in children:
                 walk(node, depth + 1)
 
     walk(root, 0)
     return lines
+
+
+def analyze_stats(root: Operator) -> list[dict]:
+    """Flatten an instrumented tree into per-operator measurements.
+
+    Returns one entry per plan node in EXPLAIN order:
+    ``{"operator", "depth", "rows", "seconds", "loops"}``. Nodes that
+    are not wrapped report zero counters (never happens for trees built
+    by :func:`repro.db.executor.instrument_plan`).
+    """
+    entries: list[dict] = []
+
+    def walk(operator: Operator, depth: int) -> None:
+        inner = operator
+        rows = seconds = loops = 0
+        if isinstance(operator, Instrumented):
+            inner = operator.inner
+            rows = operator.rows
+            seconds = operator.total_seconds
+            loops = operator.loops
+        entries.append({
+            "operator": type(inner).__name__,
+            "depth": depth,
+            "rows": rows,
+            "seconds": seconds,
+            "loops": loops,
+        })
+        for attr in ("child", "left", "right"):
+            node = getattr(inner, attr, None)
+            if isinstance(node, Operator):
+                walk(node, depth + 1)
+        children = getattr(inner, "children", None)
+        if isinstance(children, list):
+            for node in children:
+                walk(node, depth + 1)
+
+    walk(root, 0)
+    return entries
 
 
 # ---------------------------------------------------------------------------

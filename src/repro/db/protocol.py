@@ -13,7 +13,7 @@ Frame types::
     connected {frame, connection_id}
     query     {frame, connection_id, sql, provenance}
     result    {frame, kind, columns, types, rows, lineages, rowcount,
-               written, written_lineage, deleted, source_tables}
+               written, written_lineage, deleted, source_tables, stats}
     error     {frame, error_type, message, transient}
     close     {frame, connection_id}
     closed    {frame}
@@ -63,6 +63,7 @@ def result_to_wire(result: StatementResult) -> dict[str, Any]:
             for ref, deps in result.written_lineage.items()],
         "deleted": [_ref_to_wire(ref) for ref in result.deleted],
         "source_tables": list(result.source_tables),
+        "stats": result.stats,
     }
 
 
@@ -86,6 +87,8 @@ def result_from_wire(frame: dict[str, Any]) -> StatementResult:
             for ref, deps in frame["written_lineage"]},
         deleted=[_ref_from_wire(item) for item in frame["deleted"]],
         source_tables=list(frame["source_tables"]),
+        # absent in frames recorded by older monitors: default to empty
+        stats=dict(frame.get("stats") or {}),
     )
 
 

@@ -145,12 +145,16 @@ class DBServer:
         started = self.timer()
         result = self.database.execute(
             sql, provenance=bool(request.get("provenance")))
-        if self.statement_timeout is not None:
-            elapsed = self.timer() - started
-            if elapsed > self.statement_timeout:
-                raise StatementTimeout(
-                    f"statement exceeded the {self.statement_timeout}s "
-                    f"budget (took {elapsed:.6f}s)")
+        elapsed = self.timer() - started
+        if (self.statement_timeout is not None
+                and elapsed > self.statement_timeout):
+            raise StatementTimeout(
+                f"statement exceeded the {self.statement_timeout}s "
+                f"budget (took {elapsed:.6f}s)")
+        if "analyze" in result.stats:
+            # EXPLAIN ANALYZE results also report the server-side wall
+            # time, so clients can see wire overhead vs execution time
+            result.stats["server"] = {"seconds": elapsed}
         return protocol.result_to_wire(result)
 
     def _handle_close(self, request: dict[str, Any]) -> dict[str, Any]:

@@ -301,9 +301,14 @@ class CopyTo(Statement):
 
 @dataclass(frozen=True)
 class Explain(Statement):
-    """``EXPLAIN <select>`` — return the plan as text rows."""
+    """``EXPLAIN [ANALYZE] <select>`` — return the plan as text rows.
+
+    With ``analyze`` the query is actually executed and each plan line
+    carries the rows produced and wall time of its operator.
+    """
 
     query: "Select"
+    analyze: bool = False
 
 
 @dataclass(frozen=True)

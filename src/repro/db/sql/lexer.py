@@ -34,7 +34,7 @@ KEYWORDS = frozenset({
     "true", "false", "join", "inner", "left", "outer", "on", "cross",
     "copy", "to", "with", "csv", "header", "delimiter",
     "begin", "commit", "rollback", "union", "all", "case", "when",
-    "explain", "index",
+    "explain", "analyze", "index",
     "then", "else", "end",
 })
 

@@ -116,7 +116,8 @@ class _Parser:
             return self.parse_copy()
         if token.text == "explain":
             self.advance()
-            return ast.Explain(self.parse_select())
+            analyze = self.accept_keyword("analyze")
+            return ast.Explain(self.parse_select(), analyze=analyze)
         if token.text == "begin":
             self.advance()
             return ast.Begin()

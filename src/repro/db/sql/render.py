@@ -242,7 +242,8 @@ def render_statement(statement: ast.Statement) -> str:
         return (f"{render_statement(statement.left)} {keyword} "
                 f"{render_select(statement.right)}")
     if isinstance(statement, ast.Explain):
-        return f"EXPLAIN {render_select(statement.query)}"
+        analyze = "ANALYZE " if statement.analyze else ""
+        return f"EXPLAIN {analyze}{render_select(statement.query)}"
     if isinstance(statement, ast.Begin):
         return "BEGIN"
     if isinstance(statement, ast.Commit):

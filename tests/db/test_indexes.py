@@ -155,3 +155,33 @@ def _indexed_table():
     table.insert((3, 10), tick=1)
     table.create_index("idx", "k")
     return table
+
+
+class TestRollbackIndexConsistency:
+    """Undoing a DELETE restores the row under its original rowid; the
+    secondary indexes must follow that identity move (regression: they
+    kept the temporary rowid, so a later IndexScan dereferenced a dead
+    row)."""
+
+    def test_rollback_of_delete_repoints_secondary_indexes(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (5, 30, 'e')")
+        db.execute("DELETE FROM t WHERE id = 3")
+        db.execute("ROLLBACK")
+        # rowids churned during the transaction: lookups must not
+        # reference the temporary identity
+        assert db.query("SELECT id, s FROM t WHERE k = 10 "
+                        "ORDER BY id") == [(1, "a"), (3, "c")]
+        assert db.query("SELECT id FROM t WHERE k = 30") == []
+        table = db.catalog.get_table("t")
+        index = table.index_on("k")
+        assert set().union(*index.buckets.values()) <= set(table.rows)
+
+    def test_rollback_restores_pk_rejection(self, db):
+        from repro.errors import IntegrityError
+
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t WHERE id = 2")
+        db.execute("ROLLBACK")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO t VALUES (2, 99, 'dup')")
