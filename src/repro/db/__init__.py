@@ -15,15 +15,20 @@ LDV paper. It provides:
   columns of Section VII-B (:mod:`repro.db.versioning`),
 * a libpq-like client/server protocol with interposition hooks
   (:mod:`repro.db.protocol`, :mod:`repro.db.client`,
-  :mod:`repro.db.server`).
+  :mod:`repro.db.server`),
+* MVCC snapshot-isolated concurrent sessions (:mod:`repro.db.mvcc`)
+  with a deterministic interleaving scheduler for concurrency tests
+  (:mod:`repro.db.scheduler`).
 
 The top-level façade is :class:`repro.db.engine.Database`.
 """
 
 from repro.db.engine import Database
 from repro.db.fileio import FileIO
+from repro.db.mvcc import Session
 from repro.db.types import Column, Schema, SQLType
 from repro.db.client import DBClient, Interceptor, RetryPolicy
+from repro.db.scheduler import InterleavingScheduler, StepResult
 from repro.db.server import DBServer
 from repro.db.wal import WriteAheadLog
 
@@ -32,10 +37,13 @@ __all__ = [
     "Column",
     "FileIO",
     "Schema",
+    "Session",
     "SQLType",
     "DBClient",
     "DBServer",
     "Interceptor",
+    "InterleavingScheduler",
     "RetryPolicy",
+    "StepResult",
     "WriteAheadLog",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.db.mvcc import MVCCState
 from repro.db.storage import DataDirectory, HeapTable
 from repro.db.types import Schema
 from repro.errors import CatalogError
@@ -16,15 +17,22 @@ class Catalog:
     (table and index DDL). Plan-cache keys include it, so any cached
     plan built against an older schema becomes unreachable the moment
     the schema changes.
+
+    The catalog also owns the database-wide :class:`MVCCState` and
+    wires it into every table it manages, so scans anywhere in the
+    engine observe the ambient read view (see :mod:`repro.db.mvcc`).
     """
 
     def __init__(self, data_directory: DataDirectory | None = None) -> None:
         self._tables: dict[str, HeapTable] = {}
         self.data_directory = data_directory
         self.version = 0
+        self.mvcc = MVCCState()
         if data_directory is not None:
             for name in data_directory.table_names():
-                self._tables[name] = data_directory.load_table(name)
+                table = data_directory.load_table(name)
+                table.mvcc = self.mvcc
+                self._tables[name] = table
 
     def bump_version(self) -> None:
         """Record a schema change (called for index DDL, which goes
@@ -39,6 +47,7 @@ class Catalog:
                 return self._tables[key]
             raise CatalogError(f"table {name!r} already exists")
         table = HeapTable(key, schema)
+        table.mvcc = self.mvcc
         self._tables[key] = table
         self.version += 1
         return table

@@ -12,8 +12,9 @@ replay works (Section VIII).
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from repro.db import protocol
 from repro.db.engine import StatementResult
@@ -109,6 +110,10 @@ class DBClient:
         self.interceptors: list[Interceptor] = []
         self.statements_sent = 0
         self.retries_performed = 0
+        self.transactions_retried = 0
+        # mirrors the server's view, updated from the txn field the
+        # server stamps on per-connection responses
+        self.in_transaction = False
 
     # -- interposition -----------------------------------------------------------
 
@@ -143,6 +148,7 @@ class DBClient:
             self._round_trip(protocol.close_frame(self.connection_id))
         finally:
             self.connection_id = None
+            self.in_transaction = False  # the server rolled it back
             for interceptor in self.interceptors:
                 interceptor.on_close(self)
 
@@ -186,6 +192,72 @@ class DBClient:
         """Shorthand: run a SELECT and return its rows."""
         return self.execute(sql).rows
 
+    # -- transactions -----------------------------------------------------------------
+
+    def begin(self) -> StatementResult:
+        return self.execute("BEGIN")
+
+    def commit(self) -> StatementResult:
+        return self.execute("COMMIT")
+
+    def rollback(self) -> StatementResult:
+        return self.execute("ROLLBACK")
+
+    @contextmanager
+    def transaction(self) -> Iterator["DBClient"]:
+        """BEGIN on entry; COMMIT on success, ROLLBACK on error.
+
+        No conflict retry — wrap the block in :meth:`run_transaction`
+        when write conflicts are possible.
+        """
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            if self.in_transaction:
+                self.rollback()
+            raise
+        self.commit()
+
+    def run_transaction(self, body: Callable[["DBClient"], Any],
+                        max_attempts: int | None = None) -> Any:
+        """Run ``body(client)`` inside a transaction, retrying the
+        *whole* transaction on transient failures.
+
+        This is the client-side half of first-committer-wins: a
+        :class:`repro.errors.WriteConflictError` (from any statement or
+        from COMMIT itself) means the server already rolled the
+        transaction back, so the body is re-run under a fresh BEGIN —
+        a fresh snapshot — after the retry policy's backoff. The body
+        must therefore be free of client-side effects it cannot repeat.
+        """
+        attempts = max_attempts
+        if attempts is None:
+            attempts = (self.retry_policy.max_attempts
+                        if self.retry_policy is not None else 1)
+        attempt = 0
+        while True:
+            try:
+                self.begin()
+                value = body(self)
+                self.commit()
+                return value
+            except TransientError:  # includes WriteConflictError
+                if self.in_transaction:
+                    # non-conflict transient failure mid-transaction:
+                    # reset server-side state before starting over
+                    try:
+                        self.rollback()
+                    except DatabaseError:
+                        self.in_transaction = False
+                attempt += 1
+                if attempt >= attempts:
+                    raise
+                if self.retry_policy is not None:
+                    self.retry_policy.sleep(
+                        self.retry_policy.delay_for(attempt - 1))
+                self.transactions_retried += 1
+
     def explain_analyze(self, sql: str) -> StatementResult:
         """Run ``EXPLAIN ANALYZE`` over a SELECT.
 
@@ -200,6 +272,12 @@ class DBClient:
     def _round_trip(self, frame: dict[str, Any]) -> dict[str, Any]:
         request_text = protocol.encode_frame(frame)
         response = self._send_with_retry(request_text)
+        status = response.get("txn")
+        if status is not None:
+            # the server stamps its transaction state on every
+            # per-connection response — including the auto-rollback
+            # after a write conflict
+            self.in_transaction = status == "open"
         if response.get("frame") == "error" and frame.get("frame") != "query":
             _raise_from_error_frame(response)
         return response

@@ -14,8 +14,16 @@ that carries, besides rows, the full write provenance of DML:
 Query lineage (Perm's Lineage) is produced when the statement is
 ``SELECT PROVENANCE ...`` or when ``provenance=True`` is passed.
 
-Transactions use an undo log: BEGIN starts recording inverse
-operations; ROLLBACK replays them in reverse.
+Transactions are MVCC snapshots (:mod:`repro.db.mvcc`): BEGIN captures
+the logical clock; statements read that snapshot merged with the
+session's private write-set; COMMIT validates first-committer-wins
+(raising :class:`repro.errors.WriteConflictError`, a transient error
+the client retries as a whole transaction) and publishes the write-set
+as one WAL batch; ROLLBACK just drops it. Each
+:class:`~repro.db.mvcc.Session` carries its own transaction state, so
+any number of connections — the server opens one session per wire
+connection — interleave statements without observing each other's
+uncommitted work.
 
 Durability (when a data directory is given): every committed statement
 or transaction is flushed to a write-ahead log (:mod:`repro.db.wal`)
@@ -32,17 +40,25 @@ every write, fsync, and rename.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.clockwork import LogicalClock
 from repro.db import csvio
 from repro.db.catalog import Catalog
 from repro.db.executor import MaterializedSource
 from repro.db.expressions import Evaluator
+from repro.db.mvcc import (
+    ReadView,
+    Session,
+    TableOverlay,
+    TransactionContext,
+)
 from repro.db.planner import PlannedQuery, plan_select
 from repro.db.provtypes import EMPTY_LINEAGE, TupleRef
 from repro.db.sql import ast
@@ -54,6 +70,7 @@ from repro.db.types import (
     Column,
     Schema,
     SQLType,
+    coerce_row,
     value_from_csv,
     value_to_csv,
 )
@@ -67,9 +84,11 @@ from repro.errors import (
     CatalogError,
     DatabaseError,
     ExecutionError,
+    IntegrityError,
     SQLSyntaxError,
     TransactionError,
     WALCorruptionError,
+    WriteConflictError,
 )
 
 
@@ -95,24 +114,6 @@ class StatementResult:
         return self.schema.column_names()
 
 
-class _UndoLog:
-    """Inverse operations recorded during an open transaction."""
-
-    def __init__(self) -> None:
-        self.entries: list[tuple] = []
-
-    def record_insert(self, table: str, rowid: int) -> None:
-        self.entries.append(("insert", table, rowid))
-
-    def record_update(self, table: str, rowid: int,
-                      old_values: tuple, old_version: int) -> None:
-        self.entries.append(("update", table, rowid, old_values, old_version))
-
-    def record_delete(self, table: str, rowid: int,
-                      old_values: tuple, old_version: int) -> None:
-        self.entries.append(("delete", table, rowid, old_values, old_version))
-
-
 class PlanCache:
     """LRU cache of planned SELECT operator trees.
 
@@ -130,6 +131,12 @@ class PlanCache:
     counts cacheable statements that had to be planned (recorded at
     :meth:`put` time, so DML and other non-cacheable statements do not
     inflate the miss counter).
+
+    The cache is shared by every session of a database, so lookups,
+    insertions (with their LRU ``move_to_end`` bookkeeping), eviction,
+    and the counters all run under one lock — two sessions planning
+    the same SQL concurrently must never corrupt the LRU order or lose
+    counter increments.
     """
 
     def __init__(self, capacity: int = 64) -> None:
@@ -139,6 +146,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[tuple, PlannedQuery] = OrderedDict()
+        self._lock = threading.Lock()
 
     @staticmethod
     def normalize(sql: str) -> str:
@@ -152,29 +160,39 @@ class PlanCache:
         return " ".join(sql.split())
 
     def get(self, key: tuple) -> Optional[PlannedQuery]:
-        planned = self._entries.get(key)
-        if planned is None:
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return planned
+        with self._lock:
+            planned = self._entries.get(key)
+            if planned is None:
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return planned
 
     def put(self, key: tuple, planned: PlannedQuery) -> None:
-        self.misses += 1
-        self._entries[key] = planned
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = planned
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def counters(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses,
-                "size": len(self._entries)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "size": len(self._entries)}
+
+    def keys(self) -> list[tuple]:
+        """The cached keys in LRU order, oldest first (for tests)."""
+        with self._lock:
+            return list(self._entries)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class Database:
@@ -201,7 +219,13 @@ class Database:
         self.autoflush = autoflush
         self.timer = timer
         self.plan_cache = PlanCache(plan_cache_size)
-        self._undo: Optional[_UndoLog] = None
+        # MVCC state lives on the catalog so tables can consult it;
+        # sessions are handed out here (one per server connection, plus
+        # the default one used by the embedded single-connection API)
+        self.mvcc = self.catalog.mvcc
+        self._next_session_id = 1
+        self._next_txn_id = 1
+        self.session = self.create_session("default")
         # WAL batch state: redo records buffered since the last commit
         # marker, and which tables the batch touched/dropped
         self.wal: Optional[WriteAheadLog] = None
@@ -326,19 +350,84 @@ class Database:
         self._touched_tables.clear()
         self._dropped_tables.clear()
 
+    # -- sessions ----------------------------------------------------------------
+
+    def create_session(self, name: str = "session") -> Session:
+        """Open an independent transaction scope (one per connection)."""
+        session = Session(self._next_session_id, name)
+        self._next_session_id += 1
+        return session
+
+    def abort_session(self, session: Session) -> None:
+        """Roll back the session's open transaction, if any (used when
+        a connection closes or the server shuts down)."""
+        if session.txn is not None:
+            self._abort_transaction(session)
+
+    @contextmanager
+    def use_session(self, session: Session) -> Iterator[Session]:
+        """Make ``session`` the default for the duration of the block.
+
+        The server wraps each connection's statement in this, so the
+        whole execute path — including code that never learned about
+        sessions — runs against the connection's transaction state.
+        """
+        previous = self.session
+        self.session = session
+        try:
+            yield session
+        finally:
+            self.session = previous
+
+    @contextmanager
+    def _read_view(self, session: Session) -> Iterator[None]:
+        """Make the session's snapshot the ambient read view for the
+        duration of one statement. Tables consult it during scans, so
+        cached plans — whose operators hold direct table references —
+        are automatically snapshot-correct for whichever session runs
+        them. No view is installed outside a transaction: autocommit
+        statements read (and write) the committed heap directly."""
+        state = self.mvcc
+        previous = state.current
+        context = session.txn
+        state.current = (ReadView(context.snapshot, context, state)
+                         if context is not None else None)
+        try:
+            yield
+        finally:
+            state.current = previous
+
+    @contextmanager
+    def group_commit(self) -> Iterator[None]:
+        """Share one WAL fsync across all transactions committed inside
+        the window (each still appends its own batch + commit marker;
+        see :class:`repro.db.wal.WriteAheadLog`)."""
+        if self.wal is None:
+            yield
+            return
+        self.wal.begin_group()
+        try:
+            yield
+        finally:
+            self.wal.end_group()
+
     # -- public API --------------------------------------------------------------
 
-    def execute(self, sql: str, provenance: bool = False) -> StatementResult:
+    def execute(self, sql: str, provenance: bool = False,
+                session: Session | None = None) -> StatementResult:
         """Execute exactly one SQL statement.
 
         Repeated SELECT texts hit the plan cache and skip parse+plan
-        entirely; see :class:`PlanCache` for the keying rules.
+        entirely; see :class:`PlanCache` for the keying rules. With no
+        explicit ``session`` the default (embedded) session is used.
         """
+        session = session if session is not None else self.session
         key = (PlanCache.normalize(sql), bool(provenance),
                self.catalog.version)
         planned = self.plan_cache.get(key)
         if planned is not None:
-            return self._run_planned_select(planned)
+            with self._read_view(session):
+                return self._run_planned_select(planned)
         statements = parse_sql(sql)
         if len(statements) != 1:
             raise SQLSyntaxError(
@@ -348,8 +437,9 @@ class Database:
             track = provenance or statement.provenance
             planned = plan_select(statement, self.catalog, track)
             self.plan_cache.put(key, planned)
-            return self._run_planned_select(planned)
-        return self.execute_statement(statement, provenance)
+            with self._read_view(session):
+                return self._run_planned_select(planned)
+        return self.execute_statement(statement, provenance, session)
 
     @staticmethod
     def _plan_cacheable(statement: ast.Statement) -> bool:
@@ -369,46 +459,57 @@ class Database:
         return not any(has_subqueries(expression)
                        for expression in expressions)
 
-    def execute_script(self, sql: str) -> list[StatementResult]:
+    def execute_script(self, sql: str,
+                       session: Session | None = None) -> list[StatementResult]:
         """Execute a multi-statement script, returning all results."""
-        return [self.execute_statement(statement, False)
+        return [self.execute_statement(statement, False, session)
                 for statement in parse_sql(sql)]
 
-    def query(self, sql: str) -> list[tuple]:
+    def query(self, sql: str,
+              session: Session | None = None) -> list[tuple]:
         """Shorthand: run a SELECT and return the rows."""
-        result = self.execute(sql)
+        result = self.execute(sql, session=session)
         if result.kind != "select":
             raise ExecutionError("query() requires a SELECT statement")
         return result.rows
 
     def execute_statement(self, statement: ast.Statement,
-                          provenance: bool = False) -> StatementResult:
-        extra_lineage: frozenset = EMPTY_LINEAGE
-        if isinstance(statement, (ast.Select, ast.SetOp, ast.Update,
-                                  ast.Delete, ast.Insert)):
-            # DML always records write provenance, so its subqueries
-            # must track lineage too; queries only when asked
-            track = (provenance
-                     or bool(getattr(statement, "provenance", False))
-                     or isinstance(statement, (ast.Update, ast.Delete,
-                                               ast.Insert)))
-            statement, extra_lineage = expand_statement(
-                statement, self._run_subquery, track)
-        try:
-            result = self._dispatch_statement(statement, provenance)
-        except Exception:
-            if self._undo is None:
-                # a failed autocommit statement never commits: whatever
-                # it logged must not survive recovery
-                self._abort_wal_batch()
-            raise
-        if extra_lineage:
-            result.lineages = [lineage | extra_lineage
-                               for lineage in result.lineages]
-            result.written_lineage = {
-                ref: deps | extra_lineage
-                for ref, deps in result.written_lineage.items()}
-        if self._undo is None:
+                          provenance: bool = False,
+                          session: Session | None = None) -> StatementResult:
+        session = session if session is not None else self.session
+        with self._read_view(session):
+            extra_lineage: frozenset = EMPTY_LINEAGE
+            if isinstance(statement, (ast.Select, ast.SetOp, ast.Update,
+                                      ast.Delete, ast.Insert)):
+                # DML always records write provenance, so its subqueries
+                # must track lineage too; queries only when asked
+                track = (provenance
+                         or bool(getattr(statement, "provenance", False))
+                         or isinstance(statement, (ast.Update, ast.Delete,
+                                                   ast.Insert)))
+                statement, extra_lineage = expand_statement(
+                    statement, self._run_subquery, track)
+            try:
+                result = self._dispatch_statement(statement, provenance,
+                                                  session)
+            except Exception as exc:
+                if (isinstance(exc, WriteConflictError)
+                        and session.txn is not None):
+                    # first committer won: the losing transaction is
+                    # dead; roll it back so the client can BEGIN afresh
+                    self._abort_transaction(session)
+                if session.txn is None:
+                    # a failed autocommit statement never commits:
+                    # whatever it logged must not survive recovery
+                    self._abort_wal_batch()
+                raise
+            if extra_lineage:
+                result.lineages = [lineage | extra_lineage
+                                   for lineage in result.lineages]
+                result.written_lineage = {
+                    ref: deps | extra_lineage
+                    for ref, deps in result.written_lineage.items()}
+        if session.txn is None:
             # autocommit (or the COMMIT statement itself): make the
             # batch durable before any table file is rewritten
             self._commit_wal_batch()
@@ -419,38 +520,47 @@ class Database:
         return result.rows, result.lineages
 
     def _dispatch_statement(self, statement: ast.Statement,
-                            provenance: bool) -> StatementResult:
+                            provenance: bool,
+                            session: Session) -> StatementResult:
         if isinstance(statement, ast.Select):
             return self._execute_select(
                 statement, provenance or statement.provenance)
         if isinstance(statement, ast.SetOp):
             return self._execute_setop(statement, provenance)
         if isinstance(statement, ast.Insert):
-            return self._execute_insert(statement, provenance)
+            return self._execute_insert(statement, provenance, session)
         if isinstance(statement, ast.Update):
-            return self._execute_update(statement)
+            return self._execute_update(statement, session)
         if isinstance(statement, ast.Delete):
-            return self._execute_delete(statement)
-        if isinstance(statement, ast.CreateTable):
-            return self._execute_create(statement)
-        if isinstance(statement, ast.DropTable):
-            return self._execute_drop_table(statement)
-        if isinstance(statement, ast.CreateIndex):
-            return self._execute_create_index(statement)
-        if isinstance(statement, ast.DropIndex):
+            return self._execute_delete(statement, session)
+        if isinstance(statement, (ast.CreateTable, ast.DropTable,
+                                  ast.CreateIndex, ast.DropIndex)):
+            if session.txn is not None:
+                # schema changes are not versioned by the snapshot
+                # machinery; forcing them to autocommit keeps every
+                # open snapshot's view of the catalog coherent
+                raise TransactionError(
+                    "DDL is not allowed inside a transaction; "
+                    "COMMIT or ROLLBACK first")
+            if isinstance(statement, ast.CreateTable):
+                return self._execute_create(statement)
+            if isinstance(statement, ast.DropTable):
+                return self._execute_drop_table(statement)
+            if isinstance(statement, ast.CreateIndex):
+                return self._execute_create_index(statement)
             return self._execute_drop_index(statement)
         if isinstance(statement, ast.CopyFrom):
-            return self._execute_copy_from(statement)
+            return self._execute_copy_from(statement, session)
         if isinstance(statement, ast.CopyTo):
             return self._execute_copy_to(statement)
         if isinstance(statement, ast.Explain):
             return self._execute_explain(statement)
         if isinstance(statement, ast.Begin):
-            return self._execute_begin()
+            return self._execute_begin(session)
         if isinstance(statement, ast.Commit):
-            return self._execute_commit()
+            return self._execute_commit(session)
         if isinstance(statement, ast.Rollback):
-            return self._execute_rollback()
+            return self._execute_rollback(session)
         raise ExecutionError(
             f"unsupported statement type {type(statement).__name__}")
 
@@ -464,7 +574,7 @@ class Database:
         the not-yet-reset WAL simply replays (idempotently) on top of
         whichever table files made it.
         """
-        if self._undo is not None:
+        if self.mvcc.has_active():
             raise TransactionError(
                 "cannot checkpoint during an open transaction")
         self.catalog.flush()
@@ -546,8 +656,8 @@ class Database:
 
     # -- INSERT --------------------------------------------------------------------
 
-    def _execute_insert(self, insert: ast.Insert,
-                        provenance: bool) -> StatementResult:
+    def _execute_insert(self, insert: ast.Insert, provenance: bool,
+                        session: Session) -> StatementResult:
         table = self.catalog.get_table(insert.table)
         result = StatementResult(kind="insert")
         if insert.query is not None:
@@ -564,12 +674,15 @@ class Database:
                 source_rows.append((values, EMPTY_LINEAGE))
         positions = self._column_positions(table, insert.columns)
         tick = self.clock.tick()
+        context = session.txn
         for values, lineage in source_rows:
             full_values = self._spread_values(table, positions, values)
-            rowid = table.insert(full_values, tick)
-            self._log_put(table, rowid)
-            if self._undo is not None:
-                self._undo.record_insert(table.name, rowid)
+            if context is None:
+                rowid = table.insert(full_values, tick)
+                self._log_put(table, rowid)
+            else:
+                rowid = self._overlay_insert(context, table,
+                                             full_values, tick)
             ref = TupleRef(table.name, rowid, tick)
             result.written.append(ref)
             result.written_lineage[ref] = lineage
@@ -600,16 +713,21 @@ class Database:
 
     # -- UPDATE / DELETE --------------------------------------------------------------
 
-    def _matching_rows(self, table: HeapTable,
-                       where: Optional[ast.Expression]) -> list[tuple[int, tuple]]:
+    def _matching_rows(
+            self, table: HeapTable, where: Optional[ast.Expression]
+    ) -> list[tuple[int, tuple, int]]:
+        """``(rowid, values, version)`` of the rows a DML statement
+        targets — read through the ambient view, so inside a
+        transaction this is the snapshot merged with the write-set."""
         evaluator = Evaluator(table.schema.qualified(table.name))
         matched = []
-        for rowid, values in table.scan():
+        for rowid, values, version in table.scan_versions():
             if where is None or evaluator.matches(where, values):
-                matched.append((rowid, values))
+                matched.append((rowid, values, version))
         return matched
 
-    def _execute_update(self, update: ast.Update) -> StatementResult:
+    def _execute_update(self, update: ast.Update,
+                        session: Session) -> StatementResult:
         table = self.catalog.get_table(update.table)
         evaluator = Evaluator(table.schema.qualified(table.name))
         assignment_positions = [
@@ -621,17 +739,18 @@ class Database:
         if not matched:
             return result
         tick = self.clock.tick()
-        for rowid, old_values in matched:
-            old_version = table.version_of(rowid)
+        context = session.txn
+        for rowid, old_values, old_version in matched:
             new_values = list(old_values)
             for position, expression in assignment_positions:
                 new_values[position] = evaluator.evaluate(
                     expression, old_values)
-            table.update(rowid, tuple(new_values), tick)
-            self._log_put(table, rowid)
-            if self._undo is not None:
-                self._undo.record_update(
-                    table.name, rowid, old_values, old_version)
+            if context is None:
+                table.update(rowid, tuple(new_values), tick)
+                self._log_put(table, rowid)
+            else:
+                self._overlay_update(context, table, rowid, old_version,
+                                     tuple(new_values), tick)
             old_ref = TupleRef(table.name, rowid, old_version)
             new_ref = TupleRef(table.name, rowid, tick)
             result.written.append(new_ref)
@@ -639,21 +758,113 @@ class Database:
         result.rowcount = len(matched)
         return result
 
-    def _execute_delete(self, delete: ast.Delete) -> StatementResult:
+    def _execute_delete(self, delete: ast.Delete,
+                        session: Session) -> StatementResult:
         table = self.catalog.get_table(delete.table)
         matched = self._matching_rows(table, delete.where)
         result = StatementResult(kind="delete",
                                  source_tables=[table.name])
-        for rowid, old_values in matched:
-            old_version = table.version_of(rowid)
-            table.delete(rowid)
-            self._log_delete(table, rowid)
-            if self._undo is not None:
-                self._undo.record_delete(
-                    table.name, rowid, old_values, old_version)
+        if not matched:
+            return result
+        tick = self.clock.tick()
+        context = session.txn
+        for rowid, old_values, old_version in matched:
+            if context is None:
+                table.delete(rowid, tick)
+                self._log_delete(table, rowid)
+            else:
+                self._overlay_delete(context, table, rowid,
+                                     old_version, tick)
             result.deleted.append(TupleRef(table.name, rowid, old_version))
         result.rowcount = len(matched)
         return result
+
+    # -- transactional write-set helpers ------------------------------------------
+
+    def _overlay_insert(self, context: TransactionContext,
+                        table: HeapTable, values: tuple,
+                        tick: int) -> int:
+        """Buffer an INSERT in the transaction's private write-set.
+
+        The rowid is reserved from the shared counter immediately so
+        concurrent transactions never collide (aborts leave gaps,
+        which rowids explicitly permit).
+        """
+        row = coerce_row(values, table.schema)
+        self._check_overlay_pk(context, table, None, row)
+        rowid = table.next_rowid
+        table.next_rowid += 1
+        overlay = context.overlay_for(table.name, create=True)
+        overlay.upserts[rowid] = (row, tick)
+        overlay.base_versions.setdefault(rowid, None)
+        return rowid
+
+    def _overlay_update(self, context: TransactionContext,
+                        table: HeapTable, rowid: int, seen_version: int,
+                        values: tuple, tick: int) -> None:
+        row = coerce_row(values, table.schema)
+        overlay = context.overlay_for(table.name, create=True)
+        if rowid not in overlay.upserts:
+            # first touch of a committed row: it must still be exactly
+            # the version our snapshot read, else somebody committed
+            # in between and the first committer has already won
+            if table.versions.get(rowid) != seen_version:
+                raise WriteConflictError(
+                    f"row {rowid} of table {table.name!r} was modified "
+                    f"by a concurrent transaction")
+            overlay.base_versions.setdefault(rowid, seen_version)
+        self._check_overlay_pk(context, table, rowid, row)
+        overlay.upserts[rowid] = (row, tick)
+
+    def _overlay_delete(self, context: TransactionContext,
+                        table: HeapTable, rowid: int, seen_version: int,
+                        tick: int) -> None:
+        overlay = context.overlay_for(table.name, create=True)
+        if rowid in overlay.upserts:
+            del overlay.upserts[rowid]
+            if overlay.base_versions.get(rowid) is None:
+                # born and deleted inside this transaction: no trace
+                overlay.base_versions.pop(rowid, None)
+            else:
+                overlay.deletes[rowid] = tick
+            return
+        if table.versions.get(rowid) != seen_version:
+            raise WriteConflictError(
+                f"row {rowid} of table {table.name!r} was modified "
+                f"by a concurrent transaction")
+        overlay.base_versions.setdefault(rowid, seen_version)
+        overlay.deletes[rowid] = tick
+
+    def _check_overlay_pk(self, context: TransactionContext,
+                          table: HeapTable, rowid: Optional[int],
+                          row: tuple) -> None:
+        """Primary-key admission for a buffered write: duplicates
+        visible at the snapshot (or inside the write-set) are integrity
+        errors; keys taken by not-yet-visible concurrent commits are
+        write conflicts (retrying with a fresh snapshot reports them
+        properly)."""
+        key = table.pk_key(row)
+        if key is None:
+            return
+        overlay = context.overlay_for(table.name, create=True)
+        for other, (other_row, _tick) in overlay.upserts.items():
+            if other != rowid and table.pk_key(other_row) == key:
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in table {table.name}")
+        holder = table.pk_holder(key)
+        if holder is None or holder == rowid:
+            return
+        if holder in overlay.deletes or holder in overlay.upserts:
+            # we delete that row, or move its key away, in this txn
+            return
+        view = table.active_view()
+        found = table.visible_version(holder, view) if view else None
+        if found is not None and table.pk_key(found[0]) == key:
+            raise IntegrityError(
+                f"duplicate primary key {key!r} in table {table.name}")
+        raise WriteConflictError(
+            f"primary key {key!r} in table {table.name!r} was taken "
+            f"by a concurrent transaction")
 
     # -- DDL / COPY --------------------------------------------------------------------
 
@@ -718,80 +929,159 @@ class Database:
         self._log_ddl({"op": "drop_index", "name": drop.name.lower()})
         return StatementResult(kind="drop", source_tables=[table.name])
 
-    def _execute_copy_from(self, copy: ast.CopyFrom) -> StatementResult:
+    def _execute_copy_from(self, copy: ast.CopyFrom,
+                           session: Session) -> StatementResult:
         table = self.catalog.get_table(copy.table)
         text = self.read_file(copy.path)
         rows = csvio.parse_rows(text, table.schema,
                                 header=copy.header,
                                 delimiter=copy.delimiter)
         tick = self.clock.tick()
+        context = session.txn
         result = StatementResult(kind="copy", source_tables=[table.name])
         for values in rows:
-            rowid = table.insert(values, tick)
-            self._log_put(table, rowid)
-            if self._undo is not None:
-                self._undo.record_insert(table.name, rowid)
+            if context is None:
+                rowid = table.insert(values, tick)
+                self._log_put(table, rowid)
+            else:
+                rowid = self._overlay_insert(context, table,
+                                             tuple(values), tick)
             result.written.append(TupleRef(table.name, rowid, tick))
         result.rowcount = len(result.written)
         return result
 
     def _execute_copy_to(self, copy: ast.CopyTo) -> StatementResult:
         table = self.catalog.get_table(copy.table)
-        text = csvio.format_rows(
-            (values for _rowid, values in table.scan()),
-            table.schema, header=copy.header, delimiter=copy.delimiter)
+        exported = [values for _rowid, values in table.scan()]
+        text = csvio.format_rows(exported, table.schema,
+                                 header=copy.header,
+                                 delimiter=copy.delimiter)
         self.write_file(copy.path, text)
-        return StatementResult(kind="copy", rowcount=table.row_count,
+        return StatementResult(kind="copy", rowcount=len(exported),
                                source_tables=[table.name])
 
     # -- transactions --------------------------------------------------------------------
 
-    def _execute_begin(self) -> StatementResult:
-        if self._undo is not None:
+    def _execute_begin(self, session: Session) -> StatementResult:
+        if session.txn is not None:
             raise TransactionError("transaction already in progress")
-        self._undo = _UndoLog()
+        context = TransactionContext(self._next_txn_id, self.clock.now)
+        self._next_txn_id += 1
+        session.txn = context
+        self.mvcc.begin(context.txn_id, context.snapshot)
         return StatementResult(kind="txn")
 
-    def _execute_commit(self) -> StatementResult:
-        if self._undo is None:
+    def _execute_commit(self, session: Session) -> StatementResult:
+        """Validate and publish the transaction's write-set.
+
+        First-committer-wins validation runs before a single shared
+        structure is touched; on conflict the raised
+        :class:`WriteConflictError` makes ``execute_statement`` abort
+        the transaction, so a failed COMMIT leaves no partial state.
+        The apply phase detaches every overwritten committed row (the
+        pre-images join the history chains for still-open snapshots),
+        then installs the write-set and logs it as one WAL batch —
+        committed atomically by the autocommit epilogue's single
+        commit-marker + fsync. Finally the provisional statement ticks
+        are mapped to one fresh commit tick, which is the instant the
+        writes become visible to later snapshots.
+        """
+        context = session.txn
+        if context is None:
             raise TransactionError("no transaction in progress")
-        # clearing _undo lets execute_statement's autocommit epilogue
-        # write the commit marker and (with autoflush) the table files
-        self._undo = None
+        self._check_conflicts(context)
+        writes = {name: overlay
+                  for name, overlay in context.overlays.items()
+                  if not overlay.empty}
+        session.txn = None  # the epilogue now commits the WAL batch
+        if writes:
+            commit_tick = self.clock.tick()
+            provisional: set[int] = set()
+            for name in sorted(writes):
+                overlay = writes[name]
+                table = self.catalog.get_table(name)
+                # detach phase: pre-images of updated rows move into
+                # the history chains (ending at the statement's tick)
+                # and free their PK/index slots, so the install phase
+                # cannot trip over transient in-transaction PK moves
+                for rowid in sorted(overlay.upserts):
+                    if rowid in table.rows:
+                        table.delete(rowid, overlay.upserts[rowid][1])
+                for rowid in sorted(overlay.deletes):
+                    tick = overlay.deletes[rowid]
+                    table.delete(rowid, tick)
+                    self._log_delete(table, rowid)
+                    provisional.add(tick)
+                for rowid in sorted(overlay.upserts):
+                    row, tick = overlay.upserts[rowid]
+                    table.put_row(rowid, row, tick)
+                    self._log_put(table, rowid)
+                    provisional.add(tick)
+            self.mvcc.register_commit(provisional, commit_tick)
+        self.mvcc.end(context.txn_id)
+        self._prune_mvcc()
         return StatementResult(kind="txn")
 
-    def _execute_rollback(self) -> StatementResult:
-        if self._undo is None:
+    def _execute_rollback(self, session: Session) -> StatementResult:
+        if session.txn is None:
             raise TransactionError("no transaction in progress")
-        undo = self._undo
-        self._undo = None  # undo operations must not re-record
-        # nothing of the batch has reached the log, so aborting simply
-        # drops the buffered records
-        self._abort_wal_batch()
-        for entry in reversed(undo.entries):
-            operation = entry[0]
-            table = self.catalog.get_table(entry[1])
-            if operation == "insert":
-                table.delete(entry[2])
-            elif operation == "update":
-                _, _, rowid, old_values, old_version = entry
-                table.update(rowid, old_values, old_version)
-                table.versions[rowid] = old_version
-            elif operation == "delete":
-                _, _, rowid, old_values, old_version = entry
-                restored = table.insert(old_values, old_version)
-                # restore original rowid identity
-                if restored != rowid:
-                    values = table.rows.pop(restored)
-                    version = table.versions.pop(restored)
-                    table.rows[rowid] = values
-                    table.versions[rowid] = version
-                    if table._pk_positions:
-                        key = tuple(values[i] for i in table._pk_positions)
-                        table._pk_index[key] = rowid
-                    # secondary indexes must follow the identity move,
-                    # or later IndexScans dereference a dead rowid
-                    for index in table.indexes.values():
-                        index.remove(restored, values[index.position])
-                        index.add(rowid, values[index.position])
+        # the write-set was private: dropping it *is* the rollback —
+        # no shared structure (heap, indexes, WAL) ever saw it
+        self._abort_transaction(session)
         return StatementResult(kind="txn")
+
+    def _abort_transaction(self, session: Session) -> None:
+        context = session.txn
+        session.txn = None
+        if context is not None:
+            self.mvcc.end(context.txn_id)
+            self._prune_mvcc()
+
+    def _check_conflicts(self, context: TransactionContext) -> None:
+        """First-committer-wins validation at COMMIT.
+
+        Re-checks every base version recorded at write time (eager
+        checks cannot see commits that happen *after* the write), and
+        re-validates primary keys against the committed state so the
+        apply phase cannot fail halfway."""
+        for name in sorted(context.overlays):
+            overlay = context.overlays[name]
+            if overlay.empty:
+                continue
+            if not self.catalog.has_table(name):
+                raise WriteConflictError(
+                    f"table {name!r} was dropped while the "
+                    f"transaction was open")
+            table = self.catalog.get_table(name)
+            for rowid, base in sorted(overlay.base_versions.items()):
+                if base is None:
+                    continue
+                if table.versions.get(rowid) != base:
+                    raise WriteConflictError(
+                        f"row {rowid} of table {name!r} was modified "
+                        f"by a concurrent transaction")
+            seen_keys: dict[tuple, int] = {}
+            for rowid in sorted(overlay.upserts):
+                key = table.pk_key(overlay.upserts[rowid][0])
+                if key is None:
+                    continue
+                if key in seen_keys:
+                    raise IntegrityError(
+                        f"duplicate primary key {key!r} in table {name}")
+                seen_keys[key] = rowid
+                holder = table.pk_holder(key)
+                if (holder is None or holder == rowid
+                        or holder in overlay.deletes
+                        or holder in overlay.upserts):
+                    continue
+                raise WriteConflictError(
+                    f"primary key {key!r} in table {name!r} was taken "
+                    f"by a concurrent transaction")
+
+    def _prune_mvcc(self) -> None:
+        """Garbage-collect history chains and commit-map entries no
+        remaining snapshot can observe (everything, when idle)."""
+        minimum = self.mvcc.min_active_snapshot()
+        for table in self.catalog:
+            table.prune_history(minimum, self.mvcc.commit_stamp)
+        self.mvcc.prune()

@@ -66,9 +66,12 @@ class SeqScan(Operator):
     def __iter__(self) -> Iterator[Annotated]:
         if self.track_lineage:
             name = self.table.name
-            versions = self.table.versions
-            for rowid, values in self.table.scan():
-                yield values, frozenset((TupleRef(name, rowid, versions[rowid]),))
+            # scan_versions reports the begin stamp of the version the
+            # ambient read view actually saw — under a snapshot that
+            # may be a history entry or the session's own write, so
+            # lineage references the snapshot's tuple versions
+            for rowid, values, version in self.table.scan_versions():
+                yield values, frozenset((TupleRef(name, rowid, version),))
         else:
             for _rowid, values in self.table.scan():
                 yield values, EMPTY_LINEAGE
@@ -96,6 +99,23 @@ class IndexScan(Operator):
     def __iter__(self) -> Iterator[Annotated]:
         value = self._value_fn(())
         name = self.table.name
+        view = self.table.active_view()
+        if view is not None:
+            # hash buckets reflect only committed-latest state; under a
+            # snapshot the index degrades to a visible scan + equality
+            # filter so the result matches what SeqScan would produce
+            if value is None:
+                return
+            position = self.index.position
+            for rowid, values, version in self.table.scan_versions():
+                if values[position] != value:
+                    continue
+                if self.track_lineage:
+                    yield values, frozenset((TupleRef(name, rowid,
+                                                      version),))
+                else:
+                    yield values, EMPTY_LINEAGE
+            return
         versions = self.table.versions
         for rowid in sorted(self.index.lookup(value)):
             values = self.table.rows[rowid]

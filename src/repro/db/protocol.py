@@ -13,15 +13,27 @@ Frame types::
     connected {frame, connection_id}
     query     {frame, connection_id, sql, provenance}
     result    {frame, kind, columns, types, rows, lineages, rowcount,
-               written, written_lineage, deleted, source_tables, stats}
-    error     {frame, error_type, message, transient}
+               written, written_lineage, deleted, source_tables, stats,
+               txn}
+    error     {frame, error_type, message, transient, txn}
     close     {frame, connection_id}
     closed    {frame}
+
+Transactions run over plain query frames (``BEGIN`` / ``COMMIT`` /
+``ROLLBACK`` SQL); the server stamps every per-connection response
+with ``txn`` (``"open"`` or ``"idle"``) so clients can track their
+transaction state — including the server-side auto-rollback after a
+``WriteConflictError``. ``result_from_wire`` ignores the field, so
+frames recorded by older monitors still replay.
 
 An error frame with ``transient`` set marks a failure the client may
 safely retry (an injected wire fault, a failed fsync): the server
 guarantees the statement had no durable effect. Clients with a
-``RetryPolicy`` resend such requests with bounded backoff.
+``RetryPolicy`` resend such requests with bounded backoff. A
+``WriteConflictError`` frame is deliberately *not* flagged transient —
+the failed transaction is gone, so the retry unit is the whole
+transaction (:meth:`repro.db.client.DBClient.run_transaction`), never
+the frame.
 """
 
 from __future__ import annotations

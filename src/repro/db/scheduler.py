@@ -1,0 +1,271 @@
+"""Deterministic interleaving scheduler for concurrency tests.
+
+Concurrency bugs are schedule bugs, so the test-kit controls the
+schedule instead of sleeping and hoping. A *script* is a generator
+function that yields SQL strings; the scheduler runs one script per
+session and advances exactly one session per step, following either a
+**named schedule** you spell out (``"a a b a b b"``) or a seeded
+**bounded exploration** of every schedule reachable from the scripts.
+Statements are atomic in this engine, so a schedule — the order in
+which whole statements interleave — captures every behavior concurrent
+sessions can produce, and each run is exactly reproducible.
+
+Each yield receives a :class:`StepResult` back, so scripts can branch
+on results and assert mid-flight::
+
+    def transfer():
+        result = yield "SELECT balance FROM accounts WHERE id = 1"
+        balance = result.rows[0][0]
+        yield "BEGIN"
+        yield f"UPDATE accounts SET balance = {balance - 10} WHERE id = 1"
+        result = yield "COMMIT"
+        if result.error is not None:
+            return "conflicted"
+        return "committed"
+
+    scheduler = InterleavingScheduler(setup, {"a": transfer, "b": transfer})
+    outcome = scheduler.run("a a a b b a b b")
+    assert outcome.value("a") == "committed"
+
+``setup()`` builds a fresh :class:`~repro.db.engine.Database` per run,
+so every schedule starts from identical state. By default scripts talk
+through a real :class:`~repro.db.server.DBServer` + one
+:class:`~repro.db.client.DBClient` per session (the wire path under
+test); ``through_wire=False`` drives engine sessions directly.
+
+Database errors (conflicts included) are captured into the
+:class:`StepResult` — the script decides whether they are expected. A
+:class:`repro.faults.SimulatedCrash` is *not* captured: like a real
+``kill -9`` it aborts the run and propagates to the test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, Optional
+
+from repro.db.client import DBClient, RetryPolicy
+from repro.db.engine import Database, StatementResult
+from repro.db.server import DBServer
+from repro.errors import DatabaseError, ReproError
+
+Script = Callable[[], Generator[str, "StepResult", Any]]
+
+
+class SchedulerError(ReproError):
+    """A schedule was invalid (unknown session, stepping a finished
+    script, or a run that left scripts unfinished)."""
+
+
+@dataclass
+class StepResult:
+    """What one scheduled statement produced, handed back to the
+    script at its ``yield``."""
+
+    sql: str
+    result: Optional[StatementResult] = None
+    error: Optional[DatabaseError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def rows(self) -> list[tuple]:
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result.rows
+
+
+@dataclass
+class SessionTrace:
+    """Everything one scripted session did during a run."""
+
+    name: str
+    steps: list[StepResult] = field(default_factory=list)
+    value: Any = None  # the script's return value
+    finished: bool = False
+
+
+class RunOutcome:
+    """The result of running one complete schedule."""
+
+    def __init__(self, schedule: tuple[str, ...],
+                 traces: Dict[str, SessionTrace],
+                 database: Database) -> None:
+        self.schedule = schedule
+        self.traces = traces
+        self.database = database
+
+    def value(self, name: str) -> Any:
+        return self.traces[name].value
+
+    def steps(self, name: str) -> list[StepResult]:
+        return self.traces[name].steps
+
+    def errors(self) -> list[tuple[str, int, DatabaseError]]:
+        """Every captured statement error as (session, step, error)."""
+        return [(name, index, step.error)
+                for name, trace in sorted(self.traces.items())
+                for index, step in enumerate(trace.steps)
+                if step.error is not None]
+
+    def query(self, sql: str) -> list[tuple]:
+        """Inspect the final committed state (fresh default session)."""
+        return self.database.query(sql)
+
+
+class _LiveSession:
+    """One script mid-run: its generator, its connection, and the SQL
+    it is waiting to execute next."""
+
+    def __init__(self, name: str, generator: Generator,
+                 execute: Callable[[str], StatementResult],
+                 trace: SessionTrace) -> None:
+        self.name = name
+        self.generator = generator
+        self.execute = execute
+        self.trace = trace
+        self.pending: Optional[str] = None
+
+    def start(self) -> None:
+        try:
+            self.pending = next(self.generator)
+        except StopIteration as stop:
+            self._finish(stop.value)
+
+    def step(self) -> None:
+        assert self.pending is not None
+        step = StepResult(sql=self.pending)
+        try:
+            step.result = self.execute(self.pending)
+        except DatabaseError as exc:
+            step.error = exc
+        self.trace.steps.append(step)
+        try:
+            self.pending = self.generator.send(step)
+        except StopIteration as stop:
+            self._finish(stop.value)
+
+    def _finish(self, value: Any) -> None:
+        self.pending = None
+        self.trace.finished = True
+        self.trace.value = value
+
+
+class InterleavingScheduler:
+    """Runs N scripted sessions under exact, reproducible schedules."""
+
+    def __init__(self, setup: Callable[[], Database],
+                 scripts: Dict[str, Script],
+                 through_wire: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
+        if not scripts:
+            raise SchedulerError("at least one script is required")
+        self.setup = setup
+        self.scripts = dict(scripts)
+        self.through_wire = through_wire
+        self.retry_policy = retry_policy
+
+    # -- running one schedule ---------------------------------------------------
+
+    def run(self, schedule: str | Iterable[str]) -> RunOutcome:
+        """Run one named schedule to completion.
+
+        The schedule lists session names in execution order (space
+        separated, or any iterable of names) and must consume every
+        script exactly: running a finished script, or leaving one
+        unfinished, is a :class:`SchedulerError` — a test asserting an
+        interleaving should mean exactly that interleaving.
+        """
+        steps = self._parse(schedule)
+        outcome, live = self._run_steps(steps)
+        unfinished = sorted(name for name, session in live.items()
+                            if not session.trace.finished)
+        if unfinished:
+            raise SchedulerError(
+                f"schedule {' '.join(steps)!r} left sessions "
+                f"{unfinished} unfinished")
+        return outcome
+
+    def explore(self, limit: Optional[int] = None,
+                seed: Optional[int] = None) -> list[RunOutcome]:
+        """Depth-first enumeration of complete schedules.
+
+        Every run restarts from a fresh ``setup()`` database, so each
+        explored schedule is independent and deterministic. ``seed``
+        shuffles the branch order (useful with ``limit`` to sample the
+        schedule space instead of always walking the same corner);
+        without a seed the order is lexicographic by session name.
+        """
+        rng = random.Random(seed) if seed is not None else None
+        outcomes: list[RunOutcome] = []
+        stack: list[tuple[str, ...]] = [()]
+        while stack and (limit is None or len(outcomes) < limit):
+            prefix = stack.pop()
+            outcome, live = self._run_steps(prefix)
+            runnable = sorted(name for name, session in live.items()
+                              if session.pending is not None)
+            if not runnable:
+                unfinished = sorted(
+                    name for name, session in live.items()
+                    if not session.trace.finished)
+                if unfinished:  # pragma: no cover - defensive
+                    raise SchedulerError(
+                        f"sessions {unfinished} can never finish")
+                outcomes.append(outcome)
+                continue
+            if rng is not None:
+                rng.shuffle(runnable)
+            for name in reversed(runnable):
+                stack.append(prefix + (name,))
+        return outcomes
+
+    # -- internals --------------------------------------------------------------
+
+    def _parse(self, schedule: str | Iterable[str]) -> tuple[str, ...]:
+        names = (tuple(schedule.split())
+                 if isinstance(schedule, str) else tuple(schedule))
+        for name in names:
+            if name not in self.scripts:
+                raise SchedulerError(f"unknown session {name!r} in "
+                                     f"schedule (have "
+                                     f"{sorted(self.scripts)})")
+        return names
+
+    def _run_steps(self, steps: tuple[str, ...]
+                   ) -> tuple[RunOutcome, Dict[str, _LiveSession]]:
+        database = self.setup()
+        live: Dict[str, _LiveSession] = {}
+        traces: Dict[str, SessionTrace] = {}
+        if self.through_wire:
+            server = DBServer(database)
+            transport = server.transport()
+            for name in sorted(self.scripts):
+                client = DBClient(transport, client_name=name,
+                                  process_id=name,
+                                  retry_policy=self.retry_policy)
+                client.connect()
+                traces[name] = SessionTrace(name)
+                live[name] = _LiveSession(name, self.scripts[name](),
+                                          client.execute, traces[name])
+        else:
+            for name in sorted(self.scripts):
+                session = database.create_session(name)
+                traces[name] = SessionTrace(name)
+                live[name] = _LiveSession(
+                    name, self.scripts[name](),
+                    lambda sql, _s=session: database.execute(
+                        sql, session=_s),
+                    traces[name])
+        for name in sorted(live):
+            live[name].start()
+        for name in steps:
+            session = live[name]
+            if session.pending is None:
+                raise SchedulerError(
+                    f"session {name!r} has already finished")
+            session.step()
+        return RunOutcome(steps, traces, database), live

@@ -24,13 +24,28 @@ from typing import Any, Callable
 from repro.clockwork import LogicalClock
 from repro.db import protocol
 from repro.db.engine import Database
+from repro.db.mvcc import Session
 from repro.errors import (
     DatabaseError,
     ProtocolError,
     ReproError,
     StatementTimeout,
     TransientError,
+    WriteConflictError,
 )
+
+
+def _frame_transient(exc: Exception) -> bool:
+    """Should an error frame carry the ``transient`` retry flag?
+
+    A :class:`WriteConflictError` is transient for the *transaction*,
+    not for the frame: resending the failed statement verbatim would
+    land outside any transaction (the server already rolled it back).
+    Clients retry it through
+    :meth:`repro.db.client.DBClient.run_transaction` instead.
+    """
+    return (isinstance(exc, TransientError)
+            and not isinstance(exc, WriteConflictError))
 
 
 class DBServer:
@@ -57,6 +72,7 @@ class DBServer:
         self.statement_timeout = statement_timeout
         self.timer = timer
         self._connections: dict[int, str] = {}
+        self._sessions: dict[int, Session] = {}
         self._next_connection_id = 1
         self.started = True
 
@@ -65,15 +81,22 @@ class DBServer:
     def shutdown(self) -> None:
         """Checkpoint data files and refuse further traffic.
 
+        Open transactions of still-connected clients are rolled back
+        first — exactly what a crashed server's recovery would decide,
+        since nothing uncommitted ever reached the WAL.
+
         Idempotent: a second shutdown is a no-op, and later frames get
         a ``ConnectionClosedError`` error frame rather than an
         exception.
         """
         if not self.started:
             return
+        for connection_id in sorted(self._sessions):
+            self.database.abort_session(self._sessions[connection_id])
         self.database.close()
         self.started = False
         self._connections.clear()
+        self._sessions.clear()
 
     # -- frame handling ----------------------------------------------------------
 
@@ -99,8 +122,16 @@ class DBServer:
         except Exception as exc:  # the wall: no raw exception on the wire
             response = protocol.error_frame(
                 type(exc).__name__, str(exc),
-                transient=isinstance(exc, TransientError))
+                transient=_frame_transient(exc))
         return protocol.encode_frame(response)
+
+    def handle_wire_many(self, request_texts: list[str]) -> list[str]:
+        """Handle a batch of encoded frames under one group-commit
+        window: each transaction still appends its own WAL batch, but
+        they all share a single fsync at the end of the batch —
+        responses are only returned once that durable barrier holds."""
+        with self.database.group_commit():
+            return [self.handle_wire(text) for text in request_texts]
 
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
         """Handle one decoded frame, returning a decoded response."""
@@ -116,19 +147,31 @@ class DBServer:
             if kind == "close":
                 return self._handle_close(request)
         except DatabaseError as exc:
-            return protocol.error_frame(
+            frame = protocol.error_frame(
                 type(exc).__name__, str(exc),
-                transient=isinstance(exc, TransientError))
+                transient=_frame_transient(exc))
+            self._attach_txn_status(frame, request)
+            return frame
         except ReproError as exc:  # pragma: no cover - defensive
             return protocol.error_frame(type(exc).__name__, str(exc))
         return protocol.error_frame(
             "ProtocolError", f"unknown frame type {kind!r}")
+
+    def _attach_txn_status(self, frame: dict[str, Any],
+                           request: dict[str, Any]) -> None:
+        """Stamp a response with the connection's transaction state so
+        clients track BEGIN/COMMIT/conflict-abort without guessing."""
+        session = self._sessions.get(request.get("connection_id"))
+        if session is not None:
+            frame["txn"] = "open" if session.in_transaction else "idle"
 
     def _handle_connect(self, request: dict[str, Any]) -> dict[str, Any]:
         connection_id = self._next_connection_id
         self._next_connection_id += 1
         self._connections[connection_id] = str(
             request.get("process_id", "unknown"))
+        self._sessions[connection_id] = self.database.create_session(
+            f"conn-{connection_id}")
         return protocol.connected_frame(connection_id)
 
     def _require_connection(self, request: dict[str, Any]) -> int:
@@ -138,13 +181,15 @@ class DBServer:
         return connection_id
 
     def _handle_query(self, request: dict[str, Any]) -> dict[str, Any]:
-        self._require_connection(request)
+        connection_id = self._require_connection(request)
         sql = request.get("sql")
         if not isinstance(sql, str):
             raise ProtocolError("query frame is missing its sql text")
+        session = self._sessions[connection_id]
         started = self.timer()
-        result = self.database.execute(
-            sql, provenance=bool(request.get("provenance")))
+        with self.database.use_session(session):
+            result = self.database.execute(
+                sql, provenance=bool(request.get("provenance")))
         elapsed = self.timer() - started
         if (self.statement_timeout is not None
                 and elapsed > self.statement_timeout):
@@ -155,11 +200,18 @@ class DBServer:
             # EXPLAIN ANALYZE results also report the server-side wall
             # time, so clients can see wire overhead vs execution time
             result.stats["server"] = {"seconds": elapsed}
-        return protocol.result_to_wire(result)
+        frame = protocol.result_to_wire(result)
+        self._attach_txn_status(frame, request)
+        return frame
 
     def _handle_close(self, request: dict[str, Any]) -> dict[str, Any]:
         connection_id = self._require_connection(request)
         del self._connections[connection_id]
+        session = self._sessions.pop(connection_id, None)
+        if session is not None:
+            # a vanished client must not pin its snapshot (or leave a
+            # half-done transaction ambiguous): roll it back
+            self.database.abort_session(session)
         return protocol.closed_frame()
 
     @property

@@ -52,8 +52,11 @@ class VersionManager:
             return 0
         heap = self.database.catalog.get_table(key)
         stamped = 0
-        for rowid, _values in heap.scan():
-            ref = TupleRef(key, rowid, heap.versions[rowid])
+        # scan_versions pairs each row with the version the ambient
+        # read view sees — reading heap.versions directly would mix a
+        # snapshot's rows with committed-latest stamps
+        for rowid, _values, version in heap.scan_versions():
+            ref = TupleRef(key, rowid, version)
             self._used_by.setdefault(ref, set())
             stamped += 1
         self._enabled_tables.add(key)

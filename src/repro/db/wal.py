@@ -110,6 +110,15 @@ class WriteAheadLog:
     ``append`` only buffers; ``commit`` writes the whole batch plus its
     marker in a single append and fsyncs, so the log never holds a
     half-batch except when a crash tears the final write.
+
+    **Group commit.** Inside a :meth:`begin_group`/:meth:`end_group`
+    window (see :meth:`repro.db.engine.Database.group_commit`) each
+    ``commit`` still appends its batch + marker immediately — ordering
+    and atomicity are unchanged — but the fsync is deferred and shared:
+    one durable barrier at the end of the window covers every commit in
+    it. A crash inside the window can lose whole trailing transactions
+    (they were not yet acknowledged as durable) but never tears or
+    reorders them.
     """
 
     def __init__(self, path: str | Path, io: FileIO | None = None) -> None:
@@ -117,6 +126,10 @@ class WriteAheadLog:
         self.io = io if io is not None else FileIO()
         self._buffer: list[bytes] = []
         self._buffered_records: list[dict] = []
+        self._group_depth = 0
+        self._group_pending = False
+        self.commit_count = 0
+        self.fsync_count = 0
 
     # -- recovery ----------------------------------------------------------------
 
@@ -209,12 +222,38 @@ class WriteAheadLog:
         self._buffered_records.append(record)
 
     def commit(self, tick: int) -> None:
-        """Durably flush the buffered batch under a commit marker."""
+        """Durably flush the buffered batch under a commit marker.
+
+        Inside a group-commit window the fsync is deferred to
+        :meth:`end_group`; the batch itself is appended immediately.
+        """
         self._buffer.append(encode_record({"op": "commit", "tick": tick}))
         batch = b"".join(self._buffer)
         self._discard()
         self.io.append_bytes(self.path, batch, point="wal.append")
+        self.commit_count += 1
+        if self._group_depth > 0:
+            self._group_pending = True
+        else:
+            self._fsync()
+
+    def begin_group(self) -> None:
+        """Open (or nest into) a group-commit window."""
+        self._group_depth += 1
+
+    def end_group(self) -> None:
+        """Close a group-commit window; the outermost close issues the
+        single shared fsync covering every commit in the window."""
+        if self._group_depth <= 0:
+            return
+        self._group_depth -= 1
+        if self._group_depth == 0 and self._group_pending:
+            self._group_pending = False
+            self._fsync()
+
+    def _fsync(self) -> None:
         self.io.fsync(self.path, point="wal.fsync")
+        self.fsync_count += 1
 
     def abort(self) -> None:
         """Discard the buffered batch (nothing ever reached disk)."""

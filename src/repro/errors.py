@@ -67,6 +67,22 @@ class TransientError(DatabaseError):
     """
 
 
+class WriteConflictError(TransientError):
+    """A snapshot-isolation write-write conflict (first committer wins).
+
+    Raised when a transaction writes a row that another transaction
+    modified and committed after this transaction's snapshot was taken.
+    The losing transaction is rolled back automatically; retrying the
+    *whole transaction* (fresh BEGIN, fresh snapshot) is safe and will
+    usually succeed, which is why this derives from
+    :class:`TransientError` — :meth:`repro.db.client.DBClient.run_transaction`
+    retries it with the client's backoff policy. Unlike a wire fault,
+    the failed frame itself must *not* be resent verbatim (the
+    transaction it belonged to is gone), so the server does not mark
+    these error frames ``transient`` at the protocol level.
+    """
+
+
 class StatementTimeout(DatabaseError):
     """A statement exceeded the server's per-statement time budget."""
 

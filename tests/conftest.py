@@ -1,0 +1,8 @@
+"""Suite-wide pytest configuration."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seeds", type=int, default=None, metavar="N",
+        help="number of random seeds for the differential SQL oracle "
+             "(default: the suite's pinned seed count)")

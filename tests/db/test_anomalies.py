@@ -1,0 +1,288 @@
+"""Transaction-anomaly matrix under snapshot isolation.
+
+Each classic anomaly is exercised through the wire by the deterministic
+interleaving scheduler, under at least three distinct hand-named
+schedules plus an exhaustive/seeded exploration. Exact SI semantics:
+
+* dirty read        — forbidden (uncommitted writes are private)
+* non-repeatable read — forbidden (statements read the BEGIN snapshot)
+* lost update       — forbidden (first committer wins; loser aborts)
+* write skew        — **permitted**: SI validates write-write overlap
+  only, so two transactions reading a shared invariant and writing
+  disjoint rows both commit. Serializability would need SSI-style
+  read-set tracking, which this engine deliberately does not do; the
+  write-skew tests document the anomaly instead of hiding it.
+
+No statement here ever sleeps: schedules, not timing, decide every
+interleaving, so each case is exactly reproducible.
+"""
+
+import pytest
+
+from repro.db import Database, InterleavingScheduler
+
+pytestmark = pytest.mark.concurrency
+
+
+def bank(rows="(1, 100), (2, 100)"):
+    def setup():
+        database = Database()
+        database.execute(
+            "CREATE TABLE accounts (id integer PRIMARY KEY, "
+            "balance integer)")
+        database.execute(f"INSERT INTO accounts VALUES {rows}")
+        return database
+    return setup
+
+
+class TestDirtyRead:
+    """b must never observe a's uncommitted (later rolled back) write."""
+
+    def scripts(self):
+        def a():
+            yield "BEGIN"
+            yield "UPDATE accounts SET balance = 999 WHERE id = 1"
+            yield "ROLLBACK"
+
+        def b():
+            step = yield "SELECT balance FROM accounts WHERE id = 1"
+            return step.rows[0][0]
+
+        return {"a": a, "b": b}
+
+    @pytest.mark.parametrize("schedule", [
+        "a a b a",   # read while the dirty write is pending
+        "a b a a",   # read between BEGIN and the write
+        "a a a b",   # read after the rollback
+        "b a a a",   # read before the transaction starts
+    ])
+    def test_never_observed(self, schedule):
+        scheduler = InterleavingScheduler(bank(), self.scripts())
+        outcome = scheduler.run(schedule)
+        assert outcome.value("b") == 100
+        assert outcome.errors() == []
+        assert outcome.query("SELECT balance FROM accounts WHERE id = 1"
+                             ) == [(100,)]
+
+    def test_never_observed_in_any_interleaving(self):
+        scheduler = InterleavingScheduler(bank(), self.scripts())
+        outcomes = scheduler.explore()
+        assert len(outcomes) == 4  # C(4,1) placements of b's read
+        assert {o.value("b") for o in outcomes} == {100}
+
+
+class TestNonRepeatableRead:
+    """Both of a's reads must return the BEGIN-snapshot value even when
+    b commits an update between them."""
+
+    def scripts(self):
+        def a():
+            yield "BEGIN"
+            first = yield "SELECT balance FROM accounts WHERE id = 1"
+            second = yield "SELECT balance FROM accounts WHERE id = 1"
+            yield "COMMIT"
+            return (first.rows[0][0], second.rows[0][0])
+
+        def b():
+            yield "UPDATE accounts SET balance = 250 WHERE id = 1"
+
+        return {"a": a, "b": b}
+
+    @pytest.mark.parametrize("schedule", [
+        "a a b a a",   # update lands between the two reads
+        "a b a a a",   # update lands before the first read
+        "b a a a a",   # update commits before BEGIN: both reads see it
+        "a a a b a",   # update lands after both reads
+    ])
+    def test_reads_are_repeatable(self, schedule):
+        scheduler = InterleavingScheduler(bank(), self.scripts())
+        outcome = scheduler.run(schedule)
+        first, second = outcome.value("a")
+        assert first == second, "read changed inside one transaction"
+        # which value both reads saw depends only on commit-before-BEGIN
+        expected = 250 if schedule.startswith("b") else 100
+        assert first == expected
+        assert outcome.errors() == []
+
+    def test_repeatable_in_any_interleaving(self):
+        scheduler = InterleavingScheduler(bank(), self.scripts())
+        for outcome in scheduler.explore():
+            first, second = outcome.value("a")
+            assert first == second, outcome.schedule
+
+
+class TestLostUpdate:
+    """Two read-modify-write transactions on the same row: first
+    committer wins, the loser aborts with a WriteConflictError, and no
+    increment is ever silently overwritten."""
+
+    def scripts(self):
+        def deposit(amount):
+            def script():
+                yield "BEGIN"
+                step = yield "SELECT balance FROM accounts WHERE id = 1"
+                balance = step.rows[0][0]
+                step = yield (f"UPDATE accounts SET balance = "
+                              f"{balance + amount} WHERE id = 1")
+                if step.error is not None:
+                    return "conflicted"
+                step = yield "COMMIT"
+                return "conflicted" if step.error is not None else "committed"
+            return script
+
+        return {"a": deposit(10), "b": deposit(25)}
+
+    @pytest.mark.parametrize("schedule,expected", [
+        # fully overlapped: both read 100, first committer wins at COMMIT
+        ("a a b b a b a b", {100 + 10, 100 + 25}),
+        # b reads inside a's window, hits the conflict eagerly at UPDATE
+        ("a a a b b a b", {100 + 10, 100 + 25}),
+        # serial execution: no conflict, both commit
+        ("a a a a b b b b", {100 + 10 + 25}),
+        ("b b b b a a a a", {100 + 10 + 25}),
+    ])
+    def test_no_update_is_lost(self, schedule, expected):
+        scheduler = InterleavingScheduler(bank(), self.scripts())
+        outcome = scheduler.run(schedule)
+        [(balance,)] = outcome.query(
+            "SELECT balance FROM accounts WHERE id = 1")
+        assert balance in expected
+        values = {outcome.value("a"), outcome.value("b")}
+        if balance == 100 + 10 + 25:
+            assert values == {"committed"}
+        else:
+            assert values == {"committed", "conflicted"}
+            errors = [type(e).__name__ for _, _, e in outcome.errors()]
+            assert errors == ["WriteConflictError"]
+
+    def test_never_lost_in_any_interleaving(self):
+        scheduler = InterleavingScheduler(bank(), self.scripts())
+        for outcome in scheduler.explore():
+            [(balance,)] = outcome.query(
+                "SELECT balance FROM accounts WHERE id = 1")
+            assert balance != 100, f"lost update under {outcome.schedule}"
+            committed = [n for n in "ab"
+                         if outcome.value(n) == "committed"]
+            expected = 100 + sum({"a": 10, "b": 25}[n] for n in committed)
+            assert balance == expected, outcome.schedule
+
+    def test_conflicted_transaction_retries_to_success(self):
+        """A script-level retry loop (fresh BEGIN, fresh snapshot)
+        recovers the conflicted deposit — both increments land."""
+        def deposit(amount):
+            def script():
+                for _ in range(2):  # at most one retry needed here
+                    yield "BEGIN"
+                    step = yield ("SELECT balance FROM accounts "
+                                  "WHERE id = 1")
+                    balance = step.rows[0][0]
+                    step = yield (f"UPDATE accounts SET balance = "
+                                  f"{balance + amount} WHERE id = 1")
+                    if step.error is not None:
+                        continue
+                    step = yield "COMMIT"
+                    if step.error is None:
+                        return "committed"
+                return "gave up"
+            return script
+
+        scheduler = InterleavingScheduler(
+            bank(), {"a": deposit(10), "b": deposit(25)})
+        # overlapped start; b loses at COMMIT, then retries and wins
+        outcome = scheduler.run("a a b b a a b b b b b")
+        assert outcome.value("a") == "committed"
+        assert outcome.value("b") == "committed"
+        assert outcome.query("SELECT balance FROM accounts WHERE id = 1"
+                             ) == [(135,)]
+
+
+class TestWriteSkew:
+    """The SI-permitted anomaly: both transactions check the invariant
+    ``sum(balance) >= 100`` against their snapshots, write *different*
+    rows, and both commit — leaving the invariant broken. Documented
+    behavior, not a bug: write-sets are disjoint, so first-committer-
+    wins has nothing to object to."""
+
+    def scripts(self):
+        def withdraw(account_id):
+            def script():
+                yield "BEGIN"
+                step = yield "SELECT sum(balance) FROM accounts"
+                total = step.rows[0][0]
+                if total - 100 < 100:
+                    yield "ROLLBACK"
+                    return "refused"
+                step = yield (f"UPDATE accounts SET balance = 0 "
+                              f"WHERE id = {account_id}")
+                step = yield "COMMIT"
+                return "conflicted" if step.error is not None else "committed"
+            return script
+
+        return {"a": withdraw(1), "b": withdraw(2)}
+
+    @pytest.mark.parametrize("schedule", [
+        "a a b b a b a b",   # fully interleaved
+        "a b a b a b a b",   # lock-step
+        "a a a b b b a b",   # a writes before b reads
+    ])
+    def test_both_commit_and_invariant_breaks(self, schedule):
+        scheduler = InterleavingScheduler(bank(), self.scripts())
+        outcome = scheduler.run(schedule)
+        assert outcome.value("a") == "committed"
+        assert outcome.value("b") == "committed"
+        assert outcome.errors() == []
+        # the application invariant is gone: that *is* write skew
+        assert outcome.query("SELECT sum(balance) FROM accounts"
+                             ) == [(0,)]
+
+    @pytest.mark.parametrize("schedule", [
+        "a a a a b b b",     # serial: b sees a's commit and refuses
+        "b b b b a a a",
+    ])
+    def test_serial_execution_preserves_the_invariant(self, schedule):
+        scheduler = InterleavingScheduler(bank(), self.scripts())
+        outcome = scheduler.run(schedule)
+        assert sorted([outcome.value("a"), outcome.value("b")]) == \
+            ["committed", "refused"]
+        assert outcome.query("SELECT sum(balance) FROM accounts"
+                             ) == [(100,)]
+
+    def test_materializing_the_conflict_restores_safety(self):
+        """The textbook fix: touch a shared row so the write-sets
+        overlap, turning the skew into a first-committer-wins conflict
+        the loser can observe."""
+        def withdraw(account_id):
+            def script():
+                yield "BEGIN"
+                step = yield "SELECT sum(balance) FROM accounts"
+                total = step.rows[0][0]
+                if total - 100 < 100:
+                    yield "ROLLBACK"
+                    return "refused"
+                # materialize: every withdrawal also writes the shared
+                # ledger row, forcing SI to serialize the pair
+                step = yield ("UPDATE ledger SET withdrawals = "
+                              "withdrawals + 1 WHERE id = 1")
+                if step.error is not None:
+                    return "conflicted"
+                step = yield (f"UPDATE accounts SET balance = 0 "
+                              f"WHERE id = {account_id}")
+                step = yield "COMMIT"
+                return "conflicted" if step.error is not None else "committed"
+            return script
+
+        def setup():
+            database = bank()()
+            database.execute(
+                "CREATE TABLE ledger (id integer PRIMARY KEY, "
+                "withdrawals integer)")
+            database.execute("INSERT INTO ledger VALUES (1, 0)")
+            return database
+
+        scheduler = InterleavingScheduler(
+            setup, {"a": withdraw(1), "b": withdraw(2)})
+        for outcome in scheduler.explore(limit=40, seed=11):
+            [(total,)] = outcome.query("SELECT sum(balance) FROM accounts")
+            assert total >= 100, (
+                f"invariant broken under {outcome.schedule} despite "
+                f"materialized conflict")
