@@ -13,10 +13,14 @@ Quantifies the unit costs the experiment-level numbers are built from:
 from __future__ import annotations
 
 import json
+import os
+import random
+from pathlib import Path
 
 import pytest
 
 from repro.db import Database, DBClient, DBServer
+from repro.db.vector import row_at_a_time_plans
 
 from benchmarks.conftest import BENCH_CONFIG, RESULTS_DIR, fresh_world, timed
 
@@ -193,3 +197,108 @@ def test_plan_cache_skips_parse_and_plan(world, report):
     assert hot < cold_seconds, (
         f"cached execution ({hot:.6f}s) is not faster than "
         f"re-planning ({cold_seconds:.6f}s)")
+
+
+# ---------------------------------------------------------------------------
+# batch pipeline: vectorized vs tuple-at-a-time, with a regression gate
+# ---------------------------------------------------------------------------
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+BENCH_ROWS = 100_000
+# CI fails when throughput drops below 70% of the committed trajectory
+REGRESSION_FLOOR = 0.7
+# and the vectorized engine must beat tuple-at-a-time by at least this
+# much in-run (the committed file records the real, larger margin)
+SPEEDUP_FLOOR = 1.5
+
+PIPELINE_QUERIES = {
+    "scan_filter_project":
+        "SELECT k, a, a + k FROM big WHERE a < 500",
+    "join_aggregate":
+        "SELECT s.name, count(*), sum(t.a) FROM big t, small s "
+        "WHERE t.j = s.k AND t.a < 500 GROUP BY s.name",
+}
+
+
+@pytest.fixture(scope="module")
+def pipeline_db():
+    """100k-row fact table + 100-row dimension, loaded via direct
+    table inserts (statement parsing at this size would dominate
+    setup)."""
+    database = Database()
+    database.execute(
+        "CREATE TABLE big (k integer, j integer, a integer, b float)")
+    database.execute("CREATE TABLE small (k integer, name text)")
+    rng = random.Random(7)
+    tick = database.clock.tick()
+    big = database.catalog.get_table("big")
+    for k in range(BENCH_ROWS):
+        big.insert((k, k % 100, rng.randrange(1000),
+                    rng.random()), tick)
+    small = database.catalog.get_table("small")
+    for k in range(100):
+        small.insert((k, f"dim{k:03d}"), tick)
+    return database
+
+
+def _time_modes(database, sql):
+    """Best-of timings for the vectorized and tuple engines, each with
+    a warm plan cache for its own mode."""
+    database.plan_cache.clear()
+    batch_rows = database.query(sql)
+    batch_seconds = _best_of(lambda: database.query(sql), repeats=3)
+    with row_at_a_time_plans():
+        database.plan_cache.clear()  # re-plan with row operators
+        tuple_rows = database.query(sql)
+        tuple_seconds = _best_of(lambda: database.query(sql), repeats=3)
+    database.plan_cache.clear()  # drop the row-mode plan
+    assert batch_rows is not tuple_rows
+    return batch_seconds, tuple_seconds, batch_rows, tuple_rows
+
+
+def test_batch_vs_tuple_pipeline(pipeline_db, report):
+    """The tentpole claim: batch execution with fused kernels beats the
+    tuple-at-a-time Volcano loop on scan-heavy pipelines. Records the
+    per-query throughput trajectory in BENCH_engine.json (refresh with
+    ``REPRO_BENCH_UPDATE=1``) and gates on it: a >30% throughput
+    regression against the committed numbers fails CI."""
+    committed = (json.loads(BENCH_FILE.read_text())
+                 if BENCH_FILE.exists() else None)
+    measured: dict[str, dict] = {}
+    failures = []
+    for name, sql in PIPELINE_QUERIES.items():
+        batch_seconds, tuple_seconds, batch_rows, tuple_rows = (
+            _time_modes(pipeline_db, sql))
+        assert sorted(batch_rows) == sorted(tuple_rows)
+        speedup = tuple_seconds / max(batch_seconds, 1e-9)
+        measured[name] = {
+            "tuple_seconds": round(tuple_seconds, 6),
+            "batch_seconds": round(batch_seconds, 6),
+            "tuple_rows_per_s": round(BENCH_ROWS / tuple_seconds),
+            "batch_rows_per_s": round(BENCH_ROWS / batch_seconds),
+            "speedup": round(speedup, 2),
+        }
+        report.add(
+            "Microbench — batch pipeline vs tuple-at-a-time (seconds)",
+            ("query", "tuple", "batch", "speedup"),
+            (name, tuple_seconds, batch_seconds, f"{speedup:.2f}x"))
+        if speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"{name}: batch engine only {speedup:.2f}x over tuple "
+                f"engine (floor {SPEEDUP_FLOOR}x)")
+        if committed is not None:
+            baseline = committed["queries"][name]["batch_rows_per_s"]
+            ratio = measured[name]["batch_rows_per_s"] / baseline
+            if ratio < REGRESSION_FLOOR:
+                failures.append(
+                    f"{name}: throughput fell to {ratio:.0%} of the "
+                    f"committed {baseline} rows/s "
+                    f"(floor {REGRESSION_FLOOR:.0%})")
+
+    if os.environ.get("REPRO_BENCH_UPDATE") == "1":
+        BENCH_FILE.write_text(json.dumps({
+            "schema_version": 1,
+            "rows": BENCH_ROWS,
+            "queries": measured,
+        }, indent=2) + "\n")
+    assert not failures, "; ".join(failures)

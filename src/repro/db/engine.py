@@ -61,6 +61,7 @@ from repro.db.mvcc import (
 )
 from repro.db.planner import PlannedQuery, plan_select
 from repro.db.provtypes import EMPTY_LINEAGE, TupleRef
+from repro.db.vector import BatchOperator
 from repro.db.sql import ast
 from repro.db.sql.parser import parse_sql
 from repro.db.subquery import expand_statement, has_subqueries
@@ -595,15 +596,34 @@ class Database:
         planned = plan_select(select, self.catalog, track_lineage)
         return self._run_planned_select(planned)
 
+    @staticmethod
+    def _materialize_root(root) -> tuple[list[tuple], list[frozenset]]:
+        """Pull an operator tree to completion.
+
+        Batch plans drain whole :class:`RowBatch`es — the result
+        rows/lineages are identical to row iteration, without paying a
+        generator round-trip per tuple."""
+        rows: list[tuple] = []
+        lineages: list[frozenset] = []
+        if isinstance(root, BatchOperator):
+            for batch in root.batches():
+                rows.extend(batch.rows())
+                gathered = batch.gathered_lineages()
+                if gathered is None:
+                    lineages.extend([EMPTY_LINEAGE] * len(batch))
+                else:
+                    lineages.extend(gathered)
+        else:
+            for values, lineage in root:
+                rows.append(values)
+                lineages.append(lineage)
+        return rows, lineages
+
     def _run_planned_select(self, planned: PlannedQuery) -> StatementResult:
         """Pull a planned operator tree to completion. Plans are
         re-iterable (scans read current table state on each run), which
         is what makes serving them from the cache sound."""
-        rows: list[tuple] = []
-        lineages: list[frozenset] = []
-        for values, lineage in planned.root:
-            rows.append(values)
-            lineages.append(lineage)
+        rows, lineages = self._materialize_root(planned.root)
         return StatementResult(
             kind="select", schema=planned.schema, rows=rows,
             lineages=lineages, rowcount=len(rows),
@@ -614,11 +634,7 @@ class Database:
         from repro.db.planner import plan_setop
 
         planned = plan_setop(setop, self.catalog, track_lineage)
-        rows: list[tuple] = []
-        lineages: list[frozenset] = []
-        for values, lineage in planned.root:
-            rows.append(values)
-            lineages.append(lineage)
+        rows, lineages = self._materialize_root(planned.root)
         return StatementResult(
             kind="select", schema=planned.schema, rows=rows,
             lineages=lineages, rowcount=len(rows),
@@ -629,8 +645,11 @@ class Database:
         from repro.db.planner import analyze_stats, explain_plan
 
         # always planned fresh, never from the cache: ANALYZE rewires
-        # the tree in place with Instrumented wrappers
-        planned = plan_select(explain.query, self.catalog, False)
+        # the tree in place with Instrumented wrappers. ANALYZE also
+        # plans unfused so each Scan/Filter/Project keeps its own node
+        # (and measurement) in the tree.
+        planned = plan_select(explain.query, self.catalog, False,
+                              fuse=not explain.analyze)
         root = planned.root
         stats: dict[str, Any] = {}
         if explain.analyze:

@@ -78,37 +78,56 @@ class SeqScan(Operator):
 
 
 class IndexScan(Operator):
-    """Equality lookup through a hash index.
+    """Point lookup(s) through a hash index.
 
-    ``value_expression`` is evaluated once against the empty row (it
-    must be constant — the planner guarantees this) and the matching
-    rowids are fetched directly.
+    ``value_expression`` is one constant expression (``col = literal``)
+    or a list of them (``col IN (literal, ...)``); each is evaluated
+    once against the empty row — the planner guarantees constness —
+    and the union of matching rowids is fetched directly. NULL probe
+    values are dropped, matching equality/IN semantics (NULL never
+    compares equal).
     """
 
     def __init__(self, table: HeapTable, qualifier: str,
-                 index, value_expression: ast.Expression,
-                 track_lineage: bool) -> None:
+                 index, value_expression, track_lineage: bool) -> None:
         self.table = table
         self.schema = table.schema.qualified(qualifier)
         self.index = index
-        self.value_expression = value_expression
-        self._value_fn = exprs.compile_expression(value_expression,
-                                                  Schema([]))
+        if isinstance(value_expression, (list, tuple)):
+            self.value_expressions = list(value_expression)
+        else:
+            self.value_expressions = [value_expression]
+        self._value_fns = [exprs.compile_expression(expression, Schema([]))
+                           for expression in self.value_expressions]
         self.track_lineage = track_lineage
 
+    @property
+    def value_expression(self) -> ast.Expression:
+        return self.value_expressions[0]
+
+    def _probe_values(self) -> list:
+        """Deduplicated non-NULL constants to probe the index with."""
+        values: list = []
+        for value_fn in self._value_fns:
+            value = value_fn(())
+            if value is None or value in values:
+                continue
+            values.append(value)
+        return values
+
     def __iter__(self) -> Iterator[Annotated]:
-        value = self._value_fn(())
+        probe_values = self._probe_values()
         name = self.table.name
         view = self.table.active_view()
         if view is not None:
             # hash buckets reflect only committed-latest state; under a
-            # snapshot the index degrades to a visible scan + equality
+            # snapshot the index degrades to a visible scan + membership
             # filter so the result matches what SeqScan would produce
-            if value is None:
+            if not probe_values:
                 return
             position = self.index.position
             for rowid, values, version in self.table.scan_versions():
-                if values[position] != value:
+                if values[position] not in probe_values:
                     continue
                 if self.track_lineage:
                     yield values, frozenset((TupleRef(name, rowid,
@@ -117,7 +136,10 @@ class IndexScan(Operator):
                     yield values, EMPTY_LINEAGE
             return
         versions = self.table.versions
-        for rowid in sorted(self.index.lookup(value)):
+        rowids: set[int] = set()
+        for value in probe_values:
+            rowids.update(self.index.lookup(value))
+        for rowid in sorted(rowids):
             values = self.table.rows[rowid]
             if self.track_lineage:
                 yield values, frozenset(
@@ -162,29 +184,39 @@ class Project(Operator):
 
 
 class HashJoin(Operator):
-    """Equi-join: build a hash table on the right side, probe with left.
+    """Equi-join: build a hash table on one side, probe with the other.
 
     ``kind`` is ``"inner"`` or ``"left"``. Join keys are expressions
     evaluated against each side's schema. A residual predicate (the
     non-equi part of an ON / WHERE conjunction) can be applied to the
-    concatenated row.
+    concatenated row. ``build_side`` names which input is hashed —
+    the planner picks the smaller one; a LEFT join must build on the
+    right so the probe pass can pad unmatched preserved rows.
     """
 
     def __init__(self, left: Operator, right: Operator,
                  left_keys: list[ast.Expression],
                  right_keys: list[ast.Expression],
                  kind: str = "inner",
-                 residual: ast.Expression | None = None) -> None:
+                 residual: ast.Expression | None = None,
+                 build_side: str = "right") -> None:
         if len(left_keys) != len(right_keys) or not left_keys:
             raise ExecutionError("hash join requires matching key lists")
         if kind not in ("inner", "left"):
             raise ExecutionError(f"unsupported hash join kind {kind!r}")
+        if build_side not in ("left", "right"):
+            raise ExecutionError(
+                f"unsupported hash join build side {build_side!r}")
+        if kind == "left" and build_side == "left":
+            raise ExecutionError(
+                "a left outer hash join must build on the right side")
         self.left = left
         self.right = right
         self.left_keys = left_keys
         self.right_keys = right_keys
         self.kind = kind
         self.residual = residual
+        self.build_side = build_side
         self.schema = left.schema.concat(right.schema)
         self._left_key_fns = [exprs.compile_expression(expression, left.schema)
                               for expression in left_keys]
@@ -195,6 +227,9 @@ class HashJoin(Operator):
                              if residual is not None else None)
 
     def __iter__(self) -> Iterator[Annotated]:
+        if self.build_side == "left":
+            yield from self._iter_build_left()
+            return
         build: dict[tuple, list[Annotated]] = {}
         right_key_fns = self._right_key_fns
         for values, lineage in self.right:
@@ -218,6 +253,28 @@ class HashJoin(Operator):
                     yield joined, lineage | right_lineage
             if self.kind == "left" and not produced:
                 yield values + null_pad, lineage
+
+    def _iter_build_left(self) -> Iterator[Annotated]:
+        # inner join only (validated in __init__): hash the left input,
+        # stream the right past it; output column order stays left+right
+        build: dict[tuple, list[Annotated]] = {}
+        left_key_fns = self._left_key_fns
+        for values, lineage in self.left:
+            key = tuple(fn(values) for fn in left_key_fns)
+            if any(part is None for part in key):
+                continue
+            build.setdefault(key, []).append((values, lineage))
+        right_key_fns = self._right_key_fns
+        residual = self._residual_fn
+        for values, lineage in self.right:
+            key = tuple(fn(values) for fn in right_key_fns)
+            if any(part is None for part in key):
+                continue
+            for left_values, left_lineage in build.get(key, ()):
+                joined = left_values + values
+                if residual is not None and not residual(joined):
+                    continue
+                yield joined, left_lineage | lineage
 
 
 class NestedLoopJoin(Operator):
@@ -307,40 +364,21 @@ class GroupAggregate(Operator):
             if having is not None else None)
         self._empty_representative = (None,) * len(child.schema)
 
-    def __iter__(self) -> Iterator[Annotated]:
-        group_fns = self._group_fns
-        input_fns = self._input_fns
-        groups: dict[tuple, dict[str, Any]] = {}
-        order: list[tuple] = []
-        for values, lineage in self.child:
-            key = tuple(fn(values) for fn in group_fns)
-            state = groups.get(key)
-            if state is None:
-                state = {
-                    "accumulators": [exprs.make_accumulator(call)
-                                     for call in self.aggregate_calls],
-                    "representative": values,
-                    "lineage": set(),
-                }
-                groups[key] = state
-                order.append(key)
-            for input_fn, accumulator in zip(input_fns,
-                                             state["accumulators"]):
-                if input_fn is None:
-                    accumulator.add(values)  # COUNT(*): every row counts
-                else:
-                    accumulator.add(input_fn(values))
-            state["lineage"].update(lineage)
+    def _new_state(self, representative: tuple | None) -> dict[str, Any]:
+        return {
+            "accumulators": [exprs.make_accumulator(call)
+                             for call in self.aggregate_calls],
+            "representative": representative,
+            "lineage": set(),
+        }
+
+    def _ensure_global_group(self, groups: dict, order: list) -> None:
         if not groups and not self.group_expressions:
             # global aggregate over empty input still yields one row
-            state = {
-                "accumulators": [exprs.make_accumulator(call)
-                                 for call in self.aggregate_calls],
-                "representative": None,
-                "lineage": set(),
-            }
-            groups[()] = state
+            groups[()] = self._new_state(None)
             order.append(())
+
+    def _finalize(self, groups: dict, order: list) -> Iterator[Annotated]:
         slots = self._slots
         for key in order:
             state = groups[key]
@@ -357,6 +395,28 @@ class GroupAggregate(Operator):
                 continue
             out = tuple(fn(representative) for fn in self._output_fns)
             yield out, frozenset(state["lineage"])
+
+    def __iter__(self) -> Iterator[Annotated]:
+        group_fns = self._group_fns
+        input_fns = self._input_fns
+        groups: dict[tuple, dict[str, Any]] = {}
+        order: list[tuple] = []
+        for values, lineage in self.child:
+            key = tuple(fn(values) for fn in group_fns)
+            state = groups.get(key)
+            if state is None:
+                state = self._new_state(values)
+                groups[key] = state
+                order.append(key)
+            for input_fn, accumulator in zip(input_fns,
+                                             state["accumulators"]):
+                if input_fn is None:
+                    accumulator.add(values)  # COUNT(*): every row counts
+                else:
+                    accumulator.add(input_fn(values))
+            state["lineage"].update(lineage)
+        self._ensure_global_group(groups, order)
+        yield from self._finalize(groups, order)
 
 
 class Distinct(Operator):
@@ -389,7 +449,12 @@ class Distinct(Operator):
 
 
 class _SortKey:
-    """Total order over SQL values where NULL sorts last (ASC)."""
+    """Total order over SQL values where NULL sorts last (ASC).
+
+    Only the mixed-type fallback of :func:`_stable_key_sort` still
+    allocates these — the common homogeneous-column case sorts raw
+    values (one wrapper object per row per key was the old hot spot).
+    """
 
     __slots__ = ("value",)
 
@@ -409,6 +474,41 @@ class _SortKey:
         return self.value == other.value
 
 
+def _stable_key_sort(order: list[int], values: list,
+                     descending: bool) -> list[int]:
+    """One stable sort pass of ``order`` by ``values[i]``.
+
+    NULLs partition out first (last in ASC order, first in DESC —
+    exactly the `_SortKey` contract) so the comparison sort only ever
+    sees non-NULL values; a mixed-type column falls back to `_SortKey`
+    wrappers, whose raw ``<`` raises the same TypeError the row
+    engine raised.
+    """
+    present = [index for index in order if values[index] is not None]
+    missing = [index for index in order if values[index] is None]
+    try:
+        present.sort(key=values.__getitem__, reverse=descending)
+    except TypeError:
+        return sorted(order, key=lambda index: _SortKey(values[index]),
+                      reverse=descending)
+    if descending:
+        return missing + present
+    return present + missing
+
+
+def ordered_indices(count: int,
+                    key_columns: list[tuple[list, bool]]) -> list[int]:
+    """Row permutation sorting by ``(values_vector, descending)`` keys.
+
+    Stable multi-key semantics via one pass per key, last key first —
+    shared by :class:`Sort` and the batch sort in ``vector.py``.
+    """
+    order = list(range(count))
+    for values, descending in reversed(key_columns):
+        order = _stable_key_sort(order, values, descending)
+    return order
+
+
 class Sort(Operator):
     """Materializing sort on a list of (column index, descending) keys."""
 
@@ -417,18 +517,14 @@ class Sort(Operator):
         self.child = child
         self.schema = child.schema
         self.keys = keys
-        self._key_plan = [(self._make_key(index), descending)
-                          for index, descending in keys]
-
-    @staticmethod
-    def _make_key(index: int) -> Callable[[Annotated], "_SortKey"]:
-        return lambda item: _SortKey(item[0][index])
 
     def __iter__(self) -> Iterator[Annotated]:
         rows = list(self.child)
-        # stable multi-key sort: apply keys from last to first
-        for key_fn, descending in reversed(self._key_plan):
-            rows.sort(key=key_fn, reverse=descending)
+        if len(rows) > 1:
+            key_columns = [([item[0][index] for item in rows], descending)
+                           for index, descending in self.keys]
+            order = ordered_indices(len(rows), key_columns)
+            rows = [rows[index] for index in order]
         return iter(rows)
 
 
@@ -565,4 +661,7 @@ def instrument_plan(root: Operator,
     if isinstance(children, list):
         root.children = [instrument_plan(child, timer)
                         for child in children]
+    from repro.db import vector  # deferred: vector imports this module
+    if isinstance(root, vector.BatchOperator):
+        return vector.BatchInstrumented(root, timer)
     return Instrumented(root, timer)

@@ -208,10 +208,21 @@ SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
 
 
 class Accumulator:
-    """Incremental aggregate state: feed values with :meth:`add`."""
+    """Incremental aggregate state: feed values with :meth:`add`.
+
+    :meth:`add_many` consumes a whole value vector (one batch worth);
+    subclasses override it where a bulk formulation beats the per-value
+    loop without changing the fold order (SUM/AVG keep the exact
+    left-to-right accumulation so float results stay bit-identical to
+    row-at-a-time execution).
+    """
 
     def add(self, value: Any) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def add_many(self, values: list) -> None:
+        for value in values:
+            self.add(value)
 
     def result(self) -> Any:  # pragma: no cover - interface
         raise NotImplementedError
@@ -223,6 +234,9 @@ class _CountAll(Accumulator):
 
     def add(self, value: Any) -> None:
         self.count += 1
+
+    def add_many(self, values: list) -> None:
+        self.count += len(values)
 
     def result(self) -> int:
         return self.count
@@ -236,6 +250,9 @@ class _Count(Accumulator):
         if value is not None:
             self.count += 1
 
+    def add_many(self, values: list) -> None:
+        self.count += len(values) - values.count(None)
+
     def result(self) -> int:
         return self.count
 
@@ -248,6 +265,13 @@ class _Sum(Accumulator):
         if value is None:
             return
         self.total = value if self.total is None else self.total + value
+
+    def add_many(self, values: list) -> None:
+        total = self.total
+        for value in values:
+            if value is not None:
+                total = value if total is None else total + value
+        self.total = total
 
     def result(self) -> Any:
         return self.total
@@ -263,6 +287,16 @@ class _Avg(Accumulator):
             return
         self.total += value
         self.count += 1
+
+    def add_many(self, values: list) -> None:
+        total = self.total
+        count = self.count
+        for value in values:
+            if value is not None:
+                total += value
+                count += 1
+        self.total = total
+        self.count = count
 
     def result(self) -> Any:
         if self.count == 0:
@@ -280,6 +314,14 @@ class _Min(Accumulator):
         if self.best is None or value < self.best:
             self.best = value
 
+    def add_many(self, values: list) -> None:
+        present = [value for value in values if value is not None]
+        if not present:
+            return
+        best = min(present)
+        if self.best is None or best < self.best:
+            self.best = best
+
     def result(self) -> Any:
         return self.best
 
@@ -293,6 +335,14 @@ class _Max(Accumulator):
             return
         if self.best is None or value > self.best:
             self.best = value
+
+    def add_many(self, values: list) -> None:
+        present = [value for value in values if value is not None]
+        if not present:
+            return
+        best = max(present)
+        if self.best is None or best > self.best:
+            self.best = best
 
     def result(self) -> Any:
         return self.best
@@ -310,6 +360,14 @@ class _Distinct(Accumulator):
             return
         self.seen.add(value)
         self.inner.add(value)
+
+    def add_many(self, values: list) -> None:
+        seen = self.seen
+        add = self.inner.add
+        for value in values:
+            if value not in seen:
+                seen.add(value)
+                add(value)
 
     def result(self) -> Any:
         return self.inner.result()
@@ -871,3 +929,553 @@ def _compile_case(node: ast.CaseWhen, schema: Schema,
             return otherwise(row)
         return None
     return case
+
+
+# -- batch compilation ---------------------------------------------------------
+#
+# The vectorized executor evaluates expressions one *batch* at a time:
+# a batch is a list of column vectors plus a selection vector ``sel``
+# of row positions still alive within those vectors. A batch-compiled
+# expression maps (columns, sel) -> one output value per sel entry.
+#
+# Semantics are identical to the row compiler — same NULL propagation,
+# same error messages — with two deliberate deviations, both handled
+# by falling back to the row closure:
+#
+# * AND/OR evaluate both sides eagerly over the batch. If that raises
+#   (a division error the row path would have short-circuited past),
+#   the batch re-runs through the row-compiled closure, which restores
+#   true short-circuit order. The fallback sticks for that closure.
+# * Comparisons and + - * vectorize without per-element type checks;
+#   a TypeError reruns the batch element-wise through `_compare` /
+#   `_arith` so the reported error matches the row path exactly.
+
+BatchFunction = Callable[[list, Any], list]
+
+
+def _gather(column: list, sel: Any) -> list:
+    """Materialize ``column`` at the positions in ``sel``.
+
+    The identity selection (``range(0, len(column))``) returns the
+    column itself — callers must not mutate gathered vectors.
+    """
+    if (type(sel) is range and sel.start == 0 and sel.step == 1
+            and sel.stop == len(column)):
+        return column
+    return [column[i] for i in sel]
+
+
+def _rows_at(columns: list, sel: Any) -> list:
+    """Row-tuple view of a batch — the bridge back to row closures."""
+    return [tuple(column[i] for column in columns) for i in sel]
+
+
+def compile_batch_expression(expression: ast.Expression, schema: Schema,
+                             slots: BindingSlots | None = None
+                             ) -> BatchFunction:
+    """Lower ``expression`` into a closure over column batches.
+
+    The returned callable takes ``(columns, sel)`` and returns one
+    value per entry of ``sel``, equal to what the row-compiled
+    expression yields on the corresponding row.
+    """
+    if _INTERPRET_ONLY:
+        evaluator = Evaluator(
+            schema, slots.as_bindings() if slots is not None else None)
+
+        def interpret_batch(columns: list, sel: Any) -> list:
+            return [evaluator.evaluate(expression, row)
+                    for row in _rows_at(columns, sel)]
+        return interpret_batch
+    return _compile_batch(expression, schema, slots)
+
+
+def compile_batch_predicate(expression: ast.Expression, schema: Schema,
+                            slots: BindingSlots | None = None
+                            ) -> BatchFunction:
+    """Filter form of :func:`compile_batch_expression`: the closure
+    returns the *refined selection vector* — the subset of ``sel``
+    whose rows evaluate to SQL TRUE (unknown counts as false)."""
+    if not _INTERPRET_ONLY:
+        selector = _compile_batch_selector(expression, schema, slots)
+        if selector is not None:
+            return selector
+    fn = compile_batch_expression(expression, schema, slots)
+
+    def refine(columns: list, sel: Any) -> list:
+        mask = fn(columns, sel)
+        return [index for index, keep in zip(sel, mask) if keep is True]
+    return refine
+
+
+# the single-pass selector bodies; `v <op> value` must be written out
+# literally per operator so the comprehension uses the native operator
+# instead of a per-element call
+_SELECTOR_SWEEPS: dict[str, Callable] = {
+    "=": lambda value: lambda sel, operands: [
+        index for index, v in zip(sel, operands)
+        if v is not None and v == value],
+    "<>": lambda value: lambda sel, operands: [
+        index for index, v in zip(sel, operands)
+        if v is not None and v != value],
+    "<": lambda value: lambda sel, operands: [
+        index for index, v in zip(sel, operands)
+        if v is not None and v < value],
+    "<=": lambda value: lambda sel, operands: [
+        index for index, v in zip(sel, operands)
+        if v is not None and v <= value],
+    ">": lambda value: lambda sel, operands: [
+        index for index, v in zip(sel, operands)
+        if v is not None and v > value],
+    ">=": lambda value: lambda sel, operands: [
+        index for index, v in zip(sel, operands)
+        if v is not None and v >= value],
+}
+
+# orient a literal-on-the-left comparison as value-on-the-right
+_FLIPPED_COMPARISON = {"=": "=", "<>": "<>", "<": ">", "<=": ">=",
+                       ">": "<", ">=": "<="}
+
+
+def _compile_batch_selector(expression: ast.Expression, schema: Schema,
+                            slots: BindingSlots | None
+                            ) -> BatchFunction | None:
+    """Fused compare-and-refine for ``<expr> <cmp> <literal>``.
+
+    The hottest predicate shape skips the intermediate truth-value
+    mask entirely: one comprehension pass selects the surviving
+    positions with a native comparison. A TypeError re-runs the batch
+    through :func:`_compare` in the original operand order, raising
+    the row path's exact error."""
+    if not isinstance(expression, ast.BinaryOp):
+        return None
+    if expression.op not in _SELECTOR_SWEEPS:
+        return None
+    constant = _batch_constant_operand(expression, slots)
+    if constant is None:
+        return None
+    side, value = constant
+    op = expression.op
+    varying = _compile_batch(
+        expression.left if side == "right" else expression.right,
+        schema, slots)
+    if value is None:
+        # <anything> <cmp> NULL is UNKNOWN: no row survives, but the
+        # varying side still evaluates so its errors surface
+        def none_selected(columns: list, sel: Any) -> list:
+            varying(columns, sel)
+            return []
+        return none_selected
+    sweep = _SELECTOR_SWEEPS[op if side == "right"
+                             else _FLIPPED_COMPARISON[op]](value)
+
+    def select(columns: list, sel: Any) -> list:
+        operands = varying(columns, sel)
+        try:
+            return sweep(sel, operands)
+        except TypeError:
+            if side == "right":
+                mask = [_compare(op, v, value) for v in operands]
+            else:
+                mask = [_compare(op, value, v) for v in operands]
+            return [index for index, keep in zip(sel, mask)
+                    if keep is True]
+    return select
+
+
+def compile_fused_kernel(predicates: list, projections: list | None,
+                         schema: Schema) -> Callable[[list, Any], tuple]:
+    """Fuse Scan→Filter→Project into one per-batch closure.
+
+    ``kernel(columns, sel)`` returns ``(out_columns, out_sel, picked)``
+    where ``picked`` is the absolute positions that survived every
+    predicate (callers gather lineage annotations with it). With
+    projections the output columns are dense and ``out_sel`` is None
+    (identity selection); without, the input columns pass through with
+    ``out_sel is picked``.
+    """
+    predicate_fns = [compile_batch_predicate(predicate, schema)
+                     for predicate in predicates]
+    projection_fns = (None if projections is None else
+                      [compile_batch_expression(projection, schema)
+                       for projection in projections])
+
+    def kernel(columns: list, sel: Any) -> tuple:
+        for refine in predicate_fns:
+            if not sel:
+                break
+            sel = refine(columns, sel)
+        if projection_fns is None:
+            return columns, sel, sel
+        if not sel:
+            return [[] for _ in projection_fns], None, sel
+        return [fn(columns, sel) for fn in projection_fns], None, sel
+    return kernel
+
+
+def vector_safe_columns(expressions: list,
+                        schema: Schema) -> set[int] | None:
+    """Column positions the batch closures for ``expressions`` read,
+    or None when any node may evaluate through the row bridge
+    (:func:`_rows_at` touches *every* column). The planner uses this
+    to prune scan materialization under a fused projection."""
+    needed: set[int] = set()
+    if all(_collect_safe(expression, schema, needed)
+           for expression in expressions):
+        return needed
+    return None
+
+
+def _collect_safe(node: ast.Expression, schema: Schema,
+                  needed: set[int]) -> bool:
+    if isinstance(node, ast.Literal):
+        return True
+    if isinstance(node, ast.ColumnRef):
+        needed.add(schema.index_of(node.name, node.qualifier))
+        return True
+    if isinstance(node, ast.BinaryOp):
+        if node.op in ("and", "or"):
+            return False  # eager eval falls back to rows on error
+        return (_collect_safe(node.left, schema, needed)
+                and _collect_safe(node.right, schema, needed))
+    if isinstance(node, ast.UnaryOp):
+        return _collect_safe(node.operand, schema, needed)
+    if isinstance(node, ast.Between):
+        return (_collect_safe(node.operand, schema, needed)
+                and _collect_safe(node.low, schema, needed)
+                and _collect_safe(node.high, schema, needed))
+    if isinstance(node, ast.Like):
+        return (_collect_safe(node.operand, schema, needed)
+                and _collect_safe(node.pattern, schema, needed))
+    if isinstance(node, ast.InList):
+        if not all(isinstance(item, ast.Literal)
+                   for item in node.items):
+            return False  # compiles through the row closure
+        return _collect_safe(node.operand, schema, needed)
+    if isinstance(node, ast.IsNull):
+        return _collect_safe(node.operand, schema, needed)
+    if isinstance(node, ast.FunctionCall):
+        return all(_collect_safe(arg, schema, needed)
+                   for arg in node.args)
+    return False  # CaseWhen / exotic: row fallback
+
+
+def _batch_via_rows(node: ast.Expression, schema: Schema,
+                    slots: BindingSlots | None) -> BatchFunction:
+    """Evaluate a batch through the row-compiled closure — the escape
+    hatch for nodes with no profitable vector form (CASE, nested IN
+    with expressions) and for the eager-evaluation error fallbacks."""
+    row_fn = _compile(node, schema, slots)
+
+    def via_rows(columns: list, sel: Any) -> list:
+        return [row_fn(row) for row in _rows_at(columns, sel)]
+    return via_rows
+
+
+def _compile_batch(node: ast.Expression, schema: Schema,
+                   slots: BindingSlots | None) -> BatchFunction:
+    if slots is not None and node in slots.index:
+        values = slots.values
+        position = slots.index[node]
+        return lambda columns, sel: [values[position]] * len(sel)
+    if isinstance(node, ast.Literal):
+        value = node.value
+        return lambda columns, sel: [value] * len(sel)
+    if isinstance(node, ast.ColumnRef):
+        index = schema.index_of(node.name, node.qualifier)
+        return lambda columns, sel: _gather(columns[index], sel)
+    if isinstance(node, ast.BinaryOp):
+        return _compile_batch_binary(node, schema, slots)
+    if isinstance(node, ast.UnaryOp):
+        return _compile_batch_unary(node, schema, slots)
+    if isinstance(node, ast.Between):
+        return _compile_batch_between(node, schema, slots)
+    if isinstance(node, ast.Like):
+        return _compile_batch_like(node, schema, slots)
+    if isinstance(node, ast.InList):
+        return _compile_batch_in(node, schema, slots)
+    if isinstance(node, ast.IsNull):
+        operand = _compile_batch(node.operand, schema, slots)
+        if node.negated:
+            return lambda columns, sel: [value is not None
+                                         for value in operand(columns, sel)]
+        return lambda columns, sel: [value is None
+                                     for value in operand(columns, sel)]
+    if isinstance(node, ast.FunctionCall):
+        return _compile_batch_function(node, schema, slots)
+    if isinstance(node, ast.Star):
+        raise ExecutionError("'*' is only valid in select lists/COUNT")
+    # CaseWhen and anything exotic: correctness over vector width
+    return _batch_via_rows(node, schema, slots)
+
+
+def _batch_constant_operand(node: ast.BinaryOp,
+                            slots: BindingSlots | None):
+    """(side, value) when one operand is a plain Literal, else None."""
+    for side, operand in (("right", node.right), ("left", node.left)):
+        if (isinstance(operand, ast.Literal)
+                and (slots is None or operand not in slots.index)):
+            return side, operand.value
+    return None
+
+
+def _batch_op_with_constant(op: str, fast, slow, left, right,
+                            constant) -> BatchFunction:
+    """Comparison/arithmetic against a literal: one-operand sweep with
+    the same NULL propagation and TypeError re-run as the vector
+    form."""
+    side, value = constant
+    varying = left if side == "right" else right
+    if value is None:
+        # still sweep the varying side: an error it raises (division
+        # by zero) must surface exactly as in the row path
+        def all_null(columns: list, sel: Any) -> list:
+            return [None for _ in varying(columns, sel)]
+        return all_null
+
+    if side == "right":
+        def batch_constant(columns: list, sel: Any) -> list:
+            operands = varying(columns, sel)
+            try:
+                return [None if lhs is None else fast(lhs, value)
+                        for lhs in operands]
+            except TypeError:
+                return [slow(op, lhs, value) for lhs in operands]
+    else:
+        def batch_constant(columns: list, sel: Any) -> list:
+            operands = varying(columns, sel)
+            try:
+                return [None if rhs is None else fast(value, rhs)
+                        for rhs in operands]
+            except TypeError:
+                return [slow(op, value, rhs) for rhs in operands]
+    return batch_constant
+
+
+def _batch_arith_col_col(op: str, left_index: int,
+                         right_index: int) -> BatchFunction:
+    """Arithmetic between two plain columns: gather and combine in a
+    single sweep instead of materializing both operand vectors."""
+    if op == "+":
+        def sweep(columns: list, sel: Any) -> list:
+            ca, cb = columns[left_index], columns[right_index]
+            try:
+                return [None if (lhs := ca[i]) is None
+                        or (rhs := cb[i]) is None else lhs + rhs
+                        for i in sel]
+            except TypeError:
+                return [_arith(op, ca[i], cb[i]) for i in sel]
+    elif op == "-":
+        def sweep(columns: list, sel: Any) -> list:
+            ca, cb = columns[left_index], columns[right_index]
+            try:
+                return [None if (lhs := ca[i]) is None
+                        or (rhs := cb[i]) is None else lhs - rhs
+                        for i in sel]
+            except TypeError:
+                return [_arith(op, ca[i], cb[i]) for i in sel]
+    else:
+        def sweep(columns: list, sel: Any) -> list:
+            ca, cb = columns[left_index], columns[right_index]
+            try:
+                return [None if (lhs := ca[i]) is None
+                        or (rhs := cb[i]) is None else lhs * rhs
+                        for i in sel]
+            except TypeError:
+                return [_arith(op, ca[i], cb[i]) for i in sel]
+    return sweep
+
+
+def _compile_batch_binary(node: ast.BinaryOp, schema: Schema,
+                          slots: BindingSlots | None) -> BatchFunction:
+    op = node.op
+    left = _compile_batch(node.left, schema, slots)
+    right = _compile_batch(node.right, schema, slots)
+    if op in ("and", "or"):
+        # Eager evaluation of both sides; on an ExecutionError the row
+        # closure takes over permanently to restore short-circuiting.
+        row_fallback: list = []
+
+        if op == "and":
+            def combine(lhs: Any, rhs: Any) -> Any:
+                if lhs is False or rhs is False:
+                    return False
+                if lhs is None or rhs is None:
+                    return None
+                return True
+        else:
+            def combine(lhs: Any, rhs: Any) -> Any:
+                if lhs is True or rhs is True:
+                    return True
+                if lhs is None or rhs is None:
+                    return None
+                return False
+
+        def batch_logic(columns: list, sel: Any) -> list:
+            if row_fallback:
+                return row_fallback[0](columns, sel)
+            try:
+                lefts = left(columns, sel)
+                rights = right(columns, sel)
+            except ExecutionError:
+                row_fallback.append(_batch_via_rows(node, schema, slots))
+                return row_fallback[0](columns, sel)
+            return [combine(lhs, rhs) for lhs, rhs in zip(lefts, rights)]
+        return batch_logic
+    # a Literal operand folds into the closure: single-operand
+    # comprehension, no broadcast vector, no per-element zip
+    constant = _batch_constant_operand(node, slots)
+    comparison = _COMPARISONS.get(op)
+    if comparison is not None:
+        if constant is not None:
+            return _batch_op_with_constant(
+                op, comparison, _compare, left, right, constant)
+
+        def batch_compare(columns: list, sel: Any) -> list:
+            lefts = left(columns, sel)
+            rights = right(columns, sel)
+            try:
+                return [None if lhs is None or rhs is None
+                        else comparison(lhs, rhs)
+                        for lhs, rhs in zip(lefts, rights)]
+            except TypeError:
+                # rerun element-wise for the row path's exact error
+                return [_compare(op, lhs, rhs)
+                        for lhs, rhs in zip(lefts, rights)]
+        return batch_compare
+    if op in ("+", "-", "*"):
+        arith = {"+": _operator.add, "-": _operator.sub,
+                 "*": _operator.mul}[op]
+        if constant is not None:
+            return _batch_op_with_constant(
+                op, arith, _arith, left, right, constant)
+        if (isinstance(node.left, ast.ColumnRef)
+                and isinstance(node.right, ast.ColumnRef)
+                and (slots is None or (node.left not in slots.index
+                                       and node.right not in slots.index))):
+            return _batch_arith_col_col(
+                op, schema.index_of(node.left.name, node.left.qualifier),
+                schema.index_of(node.right.name, node.right.qualifier))
+
+        def batch_arithmetic(columns: list, sel: Any) -> list:
+            lefts = left(columns, sel)
+            rights = right(columns, sel)
+            try:
+                return [None if lhs is None or rhs is None
+                        else arith(lhs, rhs)
+                        for lhs, rhs in zip(lefts, rights)]
+            except TypeError:
+                return [_arith(op, lhs, rhs)
+                        for lhs, rhs in zip(lefts, rights)]
+        return batch_arithmetic
+    if op in ("/", "%", "||"):
+        def batch_general(columns: list, sel: Any) -> list:
+            lefts = left(columns, sel)
+            rights = right(columns, sel)
+            return [_arith(op, lhs, rhs)
+                    for lhs, rhs in zip(lefts, rights)]
+        return batch_general
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def _compile_batch_unary(node: ast.UnaryOp, schema: Schema,
+                         slots: BindingSlots | None) -> BatchFunction:
+    operand = _compile_batch(node.operand, schema, slots)
+    if node.op == "not":
+        return lambda columns, sel: [None if value is None else (not value)
+                                     for value in operand(columns, sel)]
+    if node.op == "-":
+        return lambda columns, sel: [None if value is None else -value
+                                     for value in operand(columns, sel)]
+    raise ExecutionError(f"unknown unary operator {node.op!r}")
+
+
+def _compile_batch_between(node: ast.Between, schema: Schema,
+                           slots: BindingSlots | None) -> BatchFunction:
+    operand = _compile_batch(node.operand, schema, slots)
+    low = _compile_batch(node.low, schema, slots)
+    high = _compile_batch(node.high, schema, slots)
+    negated = node.negated
+
+    def batch_between(columns: list, sel: Any) -> list:
+        out = []
+        append = out.append
+        for value, lower, upper in zip(operand(columns, sel),
+                                       low(columns, sel),
+                                       high(columns, sel)):
+            lower_ok = _compare(">=", value, lower)
+            upper_ok = _compare("<=", value, upper)
+            if lower_ok is False or upper_ok is False:
+                append(True if negated else False)
+            elif lower_ok is None or upper_ok is None:
+                append(None)
+            else:
+                append(False if negated else True)
+        return out
+    return batch_between
+
+
+def _compile_batch_like(node: ast.Like, schema: Schema,
+                        slots: BindingSlots | None) -> BatchFunction:
+    operand = _compile_batch(node.operand, schema, slots)
+    negated = node.negated
+    if isinstance(node.pattern, ast.Literal) and node.pattern.value is not None:
+        match = _like_regex(str(node.pattern.value)).match
+
+        def batch_like_constant(columns: list, sel: Any) -> list:
+            return [None if value is None
+                    else ((match(str(value)) is None) if negated
+                          else (match(str(value)) is not None))
+                    for value in operand(columns, sel)]
+        return batch_like_constant
+    pattern = _compile_batch(node.pattern, schema, slots)
+
+    def batch_like(columns: list, sel: Any) -> list:
+        out = []
+        for value, pat in zip(operand(columns, sel), pattern(columns, sel)):
+            result = sql_like(value, pat)
+            out.append(None if result is None
+                       else ((not result) if negated else result))
+        return out
+    return batch_like
+
+
+def _compile_batch_in(node: ast.InList, schema: Schema,
+                      slots: BindingSlots | None) -> BatchFunction:
+    if not all(isinstance(item, ast.Literal) for item in node.items):
+        return _batch_via_rows(node, schema, slots)
+    operand = _compile_batch(node.operand, schema, slots)
+    negated = node.negated
+    literals = [item.value for item in node.items]
+    members = {value for value in literals if value is not None}
+    saw_null = any(value is None for value in literals)
+    on_hit = not negated
+    on_miss = None if saw_null else negated
+
+    def batch_in(columns: list, sel: Any) -> list:
+        return [None if value is None
+                else (on_hit if value in members else on_miss)
+                for value in operand(columns, sel)]
+    return batch_in
+
+
+def _compile_batch_function(node: ast.FunctionCall, schema: Schema,
+                            slots: BindingSlots | None) -> BatchFunction:
+    if node.name in AGGREGATE_NAMES:
+        raise ExecutionError(
+            f"aggregate {node.name}() used outside GROUP BY context")
+    fn = SCALAR_FUNCTIONS.get(node.name)
+    if fn is None:
+        raise ExecutionError(f"unknown function {node.name!r}")
+    arg_fns = [_compile_batch(arg, schema, slots) for arg in node.args]
+    if len(arg_fns) == 1:
+        only = arg_fns[0]
+        return lambda columns, sel: [fn(value)
+                                     for value in only(columns, sel)]
+    if not arg_fns:
+        return lambda columns, sel: [fn() for _ in sel]
+
+    def batch_call(columns: list, sel: Any) -> list:
+        vectors = [arg_fn(columns, sel) for arg_fn in arg_fns]
+        return [fn(*args) for args in zip(*vectors)]
+    return batch_call

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.db import expressions as exprs
+from repro.db import vector
 from repro.db.catalog import Catalog
 from repro.db.executor import (
     Distinct,
@@ -37,6 +38,25 @@ from repro.db.executor import (
 from repro.db.sql import ast
 from repro.db.types import Column, Schema, SQLType
 from repro.errors import CatalogError, ExecutionError, SQLSyntaxError
+
+
+@dataclass
+class _PlanOptions:
+    """How aggressively to vectorize the emitted plan.
+
+    ``batched`` selects the batch operator classes; ``fuse``
+    additionally collapses Scan→Filter→Project chains into
+    :class:`repro.db.vector.FusedScanFilterProject`. EXPLAIN ANALYZE
+    plans set ``fuse=False`` so per-operator attribution survives.
+    """
+
+    batched: bool
+    fuse: bool
+
+
+def _plan_options(fuse: bool) -> _PlanOptions:
+    batched = vector.vectorized_enabled()
+    return _PlanOptions(batched=batched, fuse=fuse and batched)
 
 
 @dataclass
@@ -66,15 +86,31 @@ def explain_plan(root: Operator) -> list[str]:
         return describe_bare(operator) + suffix
 
     def describe_bare(operator: Operator) -> str:
+        # batch operators subclass their row twins, so every branch
+        # below covers both engines; the default name drops the
+        # "Batch" prefix for the same reason
         name = type(operator).__name__
-        if isinstance(operator, SeqScan):
-            return f"SeqScan on {operator.table.name}"
+        if name.startswith("Batch"):
+            name = name[len("Batch"):]
+        if isinstance(operator, vector.FusedScanFilterProject):
+            parts = [f"{len(operator.predicates)} predicates"]
+            if operator.projections is not None:
+                parts.append(f"{len(operator.projections)} outputs")
+            return f"FusedScanFilterProject ({', '.join(parts)})"
         if isinstance(operator, IndexScan):
             from repro.db.sql.render import render_expression
+            if len(operator.value_expressions) == 1:
+                probe = (f"{operator.index.column} = "
+                         f"{render_expression(operator.value_expression)}")
+            else:
+                rendered = ", ".join(
+                    render_expression(expression)
+                    for expression in operator.value_expressions)
+                probe = f"{operator.index.column} IN ({rendered})"
             return (f"IndexScan on {operator.table.name} using "
-                    f"{operator.index.name} "
-                    f"({operator.index.column} = "
-                    f"{render_expression(operator.value_expression)})")
+                    f"{operator.index.name} ({probe})")
+        if isinstance(operator, SeqScan):
+            return f"SeqScan on {operator.table.name}"
         if isinstance(operator, Filter):
             from repro.db.sql.render import render_expression
             return f"Filter: {render_expression(operator.predicate)}"
@@ -83,7 +119,8 @@ def explain_plan(root: Operator) -> list[str]:
             keys = " AND ".join(
                 f"{render_expression(l)} = {render_expression(r)}"
                 for l, r in zip(operator.left_keys, operator.right_keys))
-            return f"HashJoin ({operator.kind}) on {keys}"
+            return (f"HashJoin ({operator.kind}, "
+                    f"build={operator.build_side}) on {keys}")
         if isinstance(operator, NestedLoopJoin):
             return f"NestedLoopJoin ({operator.kind})"
         if isinstance(operator, GroupAggregate):
@@ -126,18 +163,26 @@ def analyze_stats(root: Operator) -> list[dict]:
     def walk(operator: Operator, depth: int) -> None:
         inner = operator
         rows = seconds = loops = 0
+        batches = None
         if isinstance(operator, Instrumented):
             inner = operator.inner
             rows = operator.rows
             seconds = operator.total_seconds
             loops = operator.loops
-        entries.append({
-            "operator": type(inner).__name__,
+            batches = getattr(operator, "batches_produced", None)
+        name = type(inner).__name__
+        if name.startswith("Batch"):
+            name = name[len("Batch"):]
+        entry = {
+            "operator": name,
             "depth": depth,
             "rows": rows,
             "seconds": seconds,
             "loops": loops,
-        })
+        }
+        if batches is not None:
+            entry["batches"] = batches
+        entries.append(entry)
         for attr in ("child", "left", "right"):
             node = getattr(inner, attr, None)
             if isinstance(node, Operator):
@@ -253,21 +298,82 @@ class _SourceSet:
         self.aliases = aliases
 
 
-def _plan_table(ref: ast.TableRef, catalog: Catalog,
-                track_lineage: bool) -> _SourceSet:
+def _plan_table(ref: ast.TableRef, catalog: Catalog, track_lineage: bool,
+                options: _PlanOptions) -> _SourceSet:
     table = catalog.get_table(ref.name)
-    scan = SeqScan(table, ref.effective_alias, track_lineage)
+    scan_class = vector.BatchSeqScan if options.batched else SeqScan
+    scan = scan_class(table, ref.effective_alias, track_lineage)
     return _SourceSet(scan, frozenset({ref.effective_alias.lower()}))
 
 
-def _plan_join_source(source, catalog: Catalog,
-                      track_lineage: bool) -> _SourceSet:
+def _filtered(operator: Operator, conjunct: ast.Expression,
+              options: _PlanOptions) -> Operator:
+    """Apply a predicate: fuse onto a batch scan when allowed, else
+    stack the engine-appropriate Filter operator."""
+    if options.fuse:
+        if (isinstance(operator, vector.FusedScanFilterProject)
+                and operator.projections is None):
+            operator.add_predicate(conjunct)
+            return operator
+        if isinstance(operator, (vector.BatchSeqScan,
+                                 vector.BatchIndexScan)):
+            fused = vector.FusedScanFilterProject(operator)
+            fused.add_predicate(conjunct)
+            return fused
+    if options.batched:
+        return vector.BatchFilter(operator, conjunct)
+    return Filter(operator, conjunct)
+
+
+def _estimate_rows(operator: Operator) -> int | None:
+    """Base-table row count feeding a plan fragment, best effort.
+
+    Walks single-child chains (filters, fused scans) down to the scan;
+    gives up (None) at joins and other multi-input nodes.
+    """
+    node = operator
+    while node is not None:
+        if isinstance(node, (SeqScan, IndexScan)):
+            return len(node.table.rows)
+        node = getattr(node, "child", None)
+    return None
+
+
+def _choose_build_side(kind: str, left: Operator,
+                       right: Operator) -> str:
+    """Hash the smaller input. LEFT joins must build on the right
+    (the probe pass pads unmatched preserved rows); ties and unknown
+    cardinalities keep the historical build-right choice."""
+    if kind != "inner":
+        return "right"
+    left_rows = _estimate_rows(left)
+    right_rows = _estimate_rows(right)
+    if left_rows is None or right_rows is None:
+        return "right"
+    return "left" if left_rows < right_rows else "right"
+
+
+def _make_hash_join(left: Operator, right: Operator,
+                    left_keys: list[ast.Expression],
+                    right_keys: list[ast.Expression], kind: str,
+                    residual: Optional[ast.Expression],
+                    options: _PlanOptions) -> Operator:
+    build_side = _choose_build_side(kind, left, right)
+    join_class = vector.BatchHashJoin if options.batched else HashJoin
+    return join_class(left, right, left_keys, right_keys, kind,
+                      residual, build_side)
+
+
+def _plan_join_source(source, catalog: Catalog, track_lineage: bool,
+                      options: _PlanOptions) -> _SourceSet:
     """Plan a FROM entry, which may be a TableRef or an explicit Join."""
     if isinstance(source, ast.TableRef):
-        return _plan_table(source, catalog, track_lineage)
+        return _plan_table(source, catalog, track_lineage, options)
     if isinstance(source, ast.Join):
-        left = _plan_join_source(source.left, catalog, track_lineage)
-        right = _plan_table(source.right, catalog, track_lineage)
+        left = _plan_join_source(source.left, catalog, track_lineage,
+                                 options)
+        right = _plan_table(source.right, catalog, track_lineage,
+                            options)
         aliases = left.aliases | right.aliases
         if source.kind == "cross" or source.condition is None:
             operator: Operator = NestedLoopJoin(
@@ -278,9 +384,10 @@ def _plan_join_source(source, catalog: Catalog,
         if equi:
             left_keys = [pair[0] for pair in equi]
             right_keys = [pair[1] for pair in equi]
-            operator = HashJoin(left.operator, right.operator,
-                                left_keys, right_keys, source.kind,
-                                conjoin(residual))
+            operator = _make_hash_join(left.operator, right.operator,
+                                       left_keys, right_keys,
+                                       source.kind, conjoin(residual),
+                                       options)
         else:
             operator = NestedLoopJoin(left.operator, right.operator,
                                       source.condition, source.kind)
@@ -355,7 +462,8 @@ def _as_equi_pair(conjunct: ast.Expression, left: _SourceSet,
 
 
 def _plan_from_where(select: ast.Select, catalog: Catalog,
-                     track_lineage: bool) -> tuple[Operator, list[str]]:
+                     track_lineage: bool, options: _PlanOptions
+                     ) -> tuple[Operator, list[str]]:
     """Plan the FROM/WHERE part, returning the source operator tree and
     the list of base tables it reads."""
     source_tables = _collect_source_tables(select.sources)
@@ -369,7 +477,8 @@ def _plan_from_where(select: ast.Select, catalog: Catalog,
             root = Filter(root, select.where)
         return root, source_tables
 
-    fragments = [_plan_join_source(source, catalog, track_lineage)
+    fragments = [_plan_join_source(source, catalog, track_lineage,
+                                   options)
                  for source in select.sources]
     conjuncts = split_conjuncts(select.where)
 
@@ -382,16 +491,16 @@ def _plan_from_where(select: ast.Select, catalog: Catalog,
         placed = False
         if aliases is not None:
             if not aliases:
-                fragments[0].operator = Filter(
-                    fragments[0].operator, conjunct)
+                fragments[0].operator = _filtered(
+                    fragments[0].operator, conjunct, options)
                 placed = True
             else:
                 for fragment in fragments:
                     if aliases <= fragment.aliases:
                         if not _try_index_scan(fragment, conjunct,
-                                               track_lineage):
-                            fragment.operator = Filter(
-                                fragment.operator, conjunct)
+                                               track_lineage, options):
+                            fragment.operator = _filtered(
+                                fragment.operator, conjunct, options)
                         placed = True
                         break
         if not placed:
@@ -418,8 +527,9 @@ def _plan_from_where(select: ast.Select, catalog: Catalog,
         candidate = pending.pop(chosen_index)
         left_keys = [pair[0] for pair in chosen_equi]
         right_keys = [pair[1] for pair in chosen_equi]
-        operator = HashJoin(current.operator, candidate.operator,
-                            left_keys, right_keys, "inner", None)
+        operator = _make_hash_join(current.operator, candidate.operator,
+                                   left_keys, right_keys, "inner", None,
+                                   options)
         current = _SourceSet(operator, current.aliases | candidate.aliases)
         # remove consumed equi conjuncts from the remaining list
         consumed = set()
@@ -436,31 +546,54 @@ def _plan_from_where(select: ast.Select, catalog: Catalog,
     root = current.operator
     residual = conjoin(remaining)
     if residual is not None:
-        root = Filter(root, residual)
+        root = _filtered(root, residual, options)
     return root, source_tables
 
 
+def _indexable_in_list(conjunct: ast.Expression):
+    """The (column, literal items) of an index-usable IN conjunct.
+
+    Only non-negated ``col IN (literal, ...)`` qualifies: the probe
+    skips NULL items, which is safe because a NULL item can only make
+    the predicate UNKNOWN — never TRUE — and filters drop UNKNOWN.
+    """
+    if (isinstance(conjunct, ast.InList) and not conjunct.negated
+            and isinstance(conjunct.operand, ast.ColumnRef)
+            and conjunct.items
+            and all(isinstance(item, ast.Literal)
+                    for item in conjunct.items)):
+        return conjunct.operand, list(conjunct.items)
+    return None
+
+
 def _try_index_scan(fragment: _SourceSet, conjunct: ast.Expression,
-                    track_lineage: bool) -> bool:
-    """Turn a bare SeqScan + ``col = constant`` conjunct into an
-    IndexScan when a hash index covers the column."""
+                    track_lineage: bool, options: _PlanOptions) -> bool:
+    """Turn a bare SeqScan plus a ``col = constant`` or
+    ``col IN (constants)`` conjunct into an IndexScan when a hash
+    index covers the column."""
     operator = fragment.operator
     if not isinstance(operator, SeqScan):
         return False
-    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
-        return False
-    candidates = [(conjunct.left, conjunct.right),
-                  (conjunct.right, conjunct.left)]
+    scan_class = (vector.BatchIndexScan if options.batched
+                  else IndexScan)
+    candidates = []
+    if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+        for column, constant in ((conjunct.left, conjunct.right),
+                                 (conjunct.right, conjunct.left)):
+            if (isinstance(column, ast.ColumnRef)
+                    and isinstance(constant, ast.Literal)):
+                candidates.append((column, constant))
+    else:
+        in_list = _indexable_in_list(conjunct)
+        if in_list is not None:
+            candidates.append(in_list)
     for column, constant in candidates:
-        if not (isinstance(column, ast.ColumnRef)
-                and isinstance(constant, ast.Literal)):
-            continue
         if not operator.schema.has_column(column.name, column.qualifier):
             continue
         index = operator.table.index_on(column.name)
         if index is None:
             continue
-        fragment.operator = IndexScan(
+        fragment.operator = scan_class(
             operator.table, operator.qualifier, index, constant,
             track_lineage)
         return True
@@ -512,9 +645,18 @@ def _expand_stars(select: ast.Select, schema: Schema) -> list[ast.SelectItem]:
 
 
 def plan_select(select: ast.Select, catalog: Catalog,
-                track_lineage: bool = False) -> PlannedQuery:
-    """Plan a SELECT statement into an executable operator tree."""
-    source, source_tables = _plan_from_where(select, catalog, track_lineage)
+                track_lineage: bool = False,
+                fuse: bool = True) -> PlannedQuery:
+    """Plan a SELECT statement into an executable operator tree.
+
+    Plans are vectorized (batch operators) whenever
+    :func:`repro.db.vector.vectorized_enabled` allows; ``fuse=False``
+    keeps Scan/Filter/Project as separate nodes (EXPLAIN ANALYZE needs
+    per-operator attribution).
+    """
+    options = _plan_options(fuse)
+    source, source_tables = _plan_from_where(select, catalog,
+                                             track_lineage, options)
     items = _expand_stars(select, source.schema)
 
     output_expressions = [item.expression for item in items]
@@ -551,28 +693,51 @@ def plan_select(select: ast.Select, catalog: Catalog,
     full_schema = Schema(full_columns)
 
     if has_aggregates:
-        root: Operator = GroupAggregate(
+        aggregate_class = (vector.BatchGroupAggregate if options.batched
+                           else GroupAggregate)
+        root: Operator = aggregate_class(
             source, list(select.group_by), all_expressions,
             full_schema, select.having)
+    elif (options.fuse
+          and isinstance(source, vector.FusedScanFilterProject)
+          and source.projections is None):
+        source.absorb_projections(all_expressions, full_schema)
+        root = source
+    elif options.fuse and isinstance(source, (vector.BatchSeqScan,
+                                              vector.BatchIndexScan)):
+        root = vector.FusedScanFilterProject(
+            source, None, all_expressions, full_schema)
+    elif options.batched:
+        root = vector.BatchProject(source, all_expressions, full_schema)
     else:
         root = Project(source, all_expressions, full_schema)
 
     if select.distinct:
-        root = Distinct(root, visible_width if hidden else None)
+        distinct_class = (vector.BatchDistinct if options.batched
+                          else Distinct)
+        root = distinct_class(root, visible_width if hidden else None)
     if sort_keys:
-        root = Sort(root, sort_keys)
+        sort_class = vector.BatchSort if options.batched else Sort
+        root = sort_class(root, sort_keys)
     if select.limit is not None or select.offset is not None:
-        root = Limit(root, select.limit, select.offset)
+        limit_class = vector.BatchLimit if options.batched else Limit
+        root = limit_class(root, select.limit, select.offset)
     if hidden:
-        root = StripColumns(root, visible_width, visible_schema)
+        strip_class = (vector.BatchStripColumns if options.batched
+                       else StripColumns)
+        root = strip_class(root, visible_width, visible_schema)
     return PlannedQuery(root, visible_schema, source_tables)
 
 
 def plan_setop(setop: ast.SetOp, catalog: Catalog,
-               track_lineage: bool = False) -> PlannedQuery:
+               track_lineage: bool = False,
+               fuse: bool = True) -> PlannedQuery:
     """Plan a UNION [ALL] chain into a Union (+ Distinct) operator."""
-    from repro.db.executor import Distinct as DistinctOp
     from repro.db.executor import Union as UnionOp
+
+    options = _plan_options(fuse)
+    DistinctOp = (vector.BatchDistinct if options.batched else Distinct)
+    union_class = vector.BatchUnion if options.batched else UnionOp
 
     branches: list[tuple[ast.Select, bool]] = []
 
@@ -587,10 +752,10 @@ def plan_setop(setop: ast.SetOp, catalog: Catalog,
             branches.append((node, True))
 
     flatten(setop, True)
-    planned = [plan_select(select, catalog, track_lineage)
+    planned = [plan_select(select, catalog, track_lineage, fuse)
                for select, _ in branches]
     first_schema = planned[0].schema
-    root: Operator = UnionOp([entry.root for entry in planned])
+    root: Operator = union_class([entry.root for entry in planned])
     # SQL UNION (without ALL) applies set semantics to the whole chain;
     # a chain with any non-ALL link deduplicates (standard semantics
     # for a left-deep chain ending in UNION)

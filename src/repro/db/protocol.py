@@ -58,6 +58,20 @@ def _ref_from_wire(data: list) -> TupleRef:
     return TupleRef(str(data[0]), int(data[1]), int(data[2]))
 
 
+def _lineages_to_wire(lineages: list) -> list:
+    """Wire form of the per-row lineage column.
+
+    The no-provenance common case (every lineage empty — exactly what
+    batch plans report via a ``None`` annotation vector) skips the
+    per-row sort/encode entirely; the emitted JSON is byte-identical
+    to the slow path.
+    """
+    if not any(lineages):
+        return [[] for _ in lineages]
+    return [sorted(_ref_to_wire(ref) for ref in lineage)
+            for lineage in lineages]
+
+
 def result_to_wire(result: StatementResult) -> dict[str, Any]:
     """Serialize a StatementResult into a ``result`` frame."""
     return {
@@ -66,8 +80,7 @@ def result_to_wire(result: StatementResult) -> dict[str, Any]:
         "columns": result.schema.column_names(),
         "types": [sql_type.value for sql_type in result.schema.types()],
         "rows": [list(row) for row in result.rows],
-        "lineages": [sorted(_ref_to_wire(ref) for ref in lineage)
-                     for lineage in result.lineages],
+        "lineages": _lineages_to_wire(result.lineages),
         "rowcount": result.rowcount,
         "written": [_ref_to_wire(ref) for ref in result.written],
         "written_lineage": [

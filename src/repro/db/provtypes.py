@@ -33,6 +33,15 @@ Lineage = frozenset  # alias: a lineage is a frozenset[TupleRef]
 EMPTY_LINEAGE: frozenset[TupleRef] = frozenset()
 
 
+def lineage_singletons(table: str,
+                       rowid_versions: list[tuple[int, int]]
+                       ) -> list[frozenset[TupleRef]]:
+    """Annotation vector for one scanned batch: each entry is the
+    singleton lineage of the corresponding ``(rowid, version)``."""
+    return [frozenset((TupleRef(table, rowid, version),))
+            for rowid, version in rowid_versions]
+
+
 class ResultRow(NamedTuple):
     """One row of a query result with optional lineage annotation."""
 

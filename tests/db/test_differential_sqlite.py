@@ -3,9 +3,15 @@
 For each pinned seed, generate a small random schema and data set,
 load both engines identically, and run a bounded family of generated
 SELECTs — filters (with NULL three-valued logic), implicit and ON-style
-equi-joins, LEFT JOIN, aggregates, GROUP BY/HAVING, DISTINCT, ORDER BY
-— asserting identical result multisets (identical *lists* where the
-query orders totally).
+equi-joins, LEFT JOIN, aggregates, GROUP BY/HAVING, DISTINCT (including
+DISTINCT over joins), IN/NOT IN lists (with NULL items), ORDER BY and
+ORDER BY + LIMIT/OFFSET — asserting identical result multisets
+(identical *lists* where the query orders totally).
+
+ORDER BY + LIMIT cases key only on non-nullable columns: sqlite sorts
+NULLs first while this engine sorts them last, so a LIMIT over a
+nullable key would truncate different rows even though both orders are
+individually valid.
 
 CI pins ``SEED_COUNT`` seeds; ``pytest --seeds N`` widens or narrows
 the sweep locally without touching the code.
@@ -23,7 +29,7 @@ from repro.db import Database
 pytestmark = pytest.mark.differential
 
 SEED_COUNT = 30          # pinned for CI
-QUERIES_PER_SEED = 8     # grammar families below
+QUERIES_PER_SEED = 11    # grammar families below
 
 
 def pytest_generate_tests(metafunc):
@@ -147,9 +153,34 @@ def generate_query(rng, family):
         key = rng.choice(["b", "c", "d", "a % 2"])
         return (f"SELECT {key}, count(*), sum(d), min(a) FROM t0 "
                 f"GROUP BY {key}{having}", False)
-    # family == 7: DISTINCT projection
-    columns = rng.choice(["c", "b", "a % 3, c"])
-    return f"SELECT DISTINCT {columns} FROM t0", False
+    if family == 7:  # DISTINCT projection
+        columns = rng.choice(["c", "b", "a % 3, c"])
+        return f"SELECT DISTINCT {columns} FROM t0", False
+    if family == 8:  # IN / NOT IN lists, occasionally with a NULL item
+        column = rng.choice(["a", "b", "d"])
+        items = [str(rng.randint(0, 9))
+                 for _ in range(rng.randint(1, 4))]
+        if rng.random() < 0.3:
+            items.insert(rng.randrange(len(items) + 1), "NULL")
+        negated = rng.random() < 0.4
+        return (f"SELECT a, b, c, d FROM t0 WHERE {column} "
+                f"{'NOT IN' if negated else 'IN'} ({', '.join(items)})",
+                False)
+    if family == 9:  # ORDER BY + LIMIT (+ OFFSET) over a total order
+        # keys restricted to the non-nullable a and d: sqlite and this
+        # engine disagree on NULL placement, and LIMIT would expose it
+        direction = rng.choice(["", " DESC"])
+        limit = rng.randint(1, 6)
+        offset = f" OFFSET {rng.randint(0, 3)}" if rng.random() < 0.5 else ""
+        where = (f"WHERE d <= {rng.randint(3, 7)} "
+                 if rng.random() < 0.5 else "")
+        return (f"SELECT d, a, a + d FROM t0 {where}"
+                f"ORDER BY d{direction}, a, a + d LIMIT {limit}{offset}",
+                True)
+    # family == 10: DISTINCT over a join
+    columns = rng.choice(["x.a", "y.e", "x.d, y.e"])
+    return (f"SELECT DISTINCT {columns} FROM t0 x JOIN t1 y "
+            f"ON x.a = y.a", False)
 
 
 # -- the oracle ---------------------------------------------------------------

@@ -1,5 +1,12 @@
 """Planner tests: pushdown, join strategy selection, star expansion,
-ORDER BY handling, and output-type inference."""
+ORDER BY handling, and output-type inference.
+
+The planner emits *batch* operator classes by default, each a subclass
+of its row twin (``BatchSort`` is a ``Sort``), and fuses
+Scan→Filter→Project chains into ``FusedScanFilterProject`` — shape
+assertions below use isinstance / :func:`has_filter` so they hold for
+both engines.
+"""
 
 import pytest
 
@@ -9,6 +16,7 @@ from repro.db.executor import (
     Filter,
     GroupAggregate,
     HashJoin,
+    IndexScan,
     NestedLoopJoin,
     Project,
     SeqScan,
@@ -24,6 +32,7 @@ from repro.db.planner import (
 )
 from repro.db.sql.parser import parse_expression, parse_one
 from repro.db.types import SQLType
+from repro.db.vector import FusedScanFilterProject, row_at_a_time_plans
 from repro.errors import ExecutionError
 
 
@@ -51,6 +60,23 @@ def operators_in(root):
     return found
 
 
+def has_filter(operators):
+    """A predicate is being applied: a Filter node or a fused scan
+    carrying pushed-down predicates."""
+    return any(
+        isinstance(op, Filter)
+        or (isinstance(op, FusedScanFilterProject) and op.predicates)
+        for op in operators)
+
+
+def has_projection(operators):
+    return any(
+        isinstance(op, Project)
+        or (isinstance(op, FusedScanFilterProject)
+            and op.projections is not None)
+        for op in operators)
+
+
 class TestConjuncts:
     def test_split_flattens_ands(self):
         conjuncts = split_conjuncts(parse_expression("a = 1 AND b = 2 AND c = 3"))
@@ -74,9 +100,9 @@ class TestConjuncts:
 class TestJoinPlanning:
     def test_equi_join_uses_hash_join(self, db):
         planned = plan(db, "SELECT 1 FROM a, b WHERE a.x = b.x")
-        kinds = [type(op) for op in operators_in(planned.root)]
-        assert HashJoin in kinds
-        assert NestedLoopJoin not in kinds
+        operators = operators_in(planned.root)
+        assert any(isinstance(op, HashJoin) for op in operators)
+        assert not any(isinstance(op, NestedLoopJoin) for op in operators)
 
     def test_no_predicate_uses_cross_join(self, db):
         planned = plan(db, "SELECT 1 FROM a, b")
@@ -101,14 +127,14 @@ class TestJoinPlanning:
         assert joins
         # the filter must appear below the join, not above it
         below = operators_in(joins[0])
-        assert any(isinstance(op, Filter) for op in below)
+        assert has_filter(below)
 
     def test_constant_filter_pushed_to_first_fragment(self, db):
         planned = plan(db, "SELECT 1 FROM a, b WHERE 1 = 0")
         joins = [op for op in operators_in(planned.root)
                  if isinstance(op, NestedLoopJoin)]
         below_left = operators_in(joins[0].left)
-        assert any(isinstance(op, Filter) for op in below_left)
+        assert has_filter(below_left)
         assert planned.root.schema is not None
         assert list(planned.root) == []  # and it short-circuits
 
@@ -116,10 +142,10 @@ class TestJoinPlanning:
         db.execute("CREATE TABLE c (z text, w integer)")
         planned = plan(
             db, "SELECT 1 FROM a, c, b WHERE a.x = b.x AND b.z = c.z")
-        kinds = [type(op) for op in operators_in(planned.root)]
+        operators = operators_in(planned.root)
         # both joins become hash joins despite c being listed between
-        assert kinds.count(HashJoin) == 2
-        assert NestedLoopJoin not in kinds
+        assert sum(isinstance(op, HashJoin) for op in operators) == 2
+        assert not any(isinstance(op, NestedLoopJoin) for op in operators)
 
     def test_source_tables_recorded(self, db):
         planned = plan(db, "SELECT 1 FROM a, b")
@@ -146,9 +172,9 @@ class TestProjectionAndAggregation:
 
     def test_plain_select_uses_project(self, db):
         planned = plan(db, "SELECT x + 1 FROM a")
-        kinds = [type(op) for op in operators_in(planned.root)]
-        assert Project in kinds
-        assert GroupAggregate not in kinds
+        operators = operators_in(planned.root)
+        assert has_projection(operators)
+        assert not any(isinstance(op, GroupAggregate) for op in operators)
 
     def test_column_naming(self, db):
         planned = plan(db, "SELECT x, x AS renamed, x + 1, count(*) "
@@ -165,14 +191,15 @@ class TestProjectionAndAggregation:
 class TestOrderByPlanning:
     def test_sort_on_projected_column(self, db):
         planned = plan(db, "SELECT x FROM a ORDER BY x")
-        kinds = [type(op) for op in operators_in(planned.root)]
-        assert Sort in kinds
-        assert StripColumns not in kinds  # no hidden column needed
+        operators = operators_in(planned.root)
+        assert any(isinstance(op, Sort) for op in operators)
+        # no hidden column needed
+        assert not any(isinstance(op, StripColumns) for op in operators)
 
     def test_hidden_sort_column_added_and_stripped(self, db):
         planned = plan(db, "SELECT s FROM a ORDER BY y DESC")
-        kinds = [type(op) for op in operators_in(planned.root)]
-        assert StripColumns in kinds
+        operators = operators_in(planned.root)
+        assert any(isinstance(op, StripColumns) for op in operators)
         assert planned.schema.column_names() == ["s"]
         assert [row for row, _lin in planned.root] == [("q",), ("p",)]
 
@@ -183,6 +210,60 @@ class TestOrderByPlanning:
     def test_order_by_position(self, db):
         planned = plan(db, "SELECT s, y FROM a ORDER BY 2 DESC")
         assert [row[0] for row, _lin in planned.root] == ["q", "p"]
+
+
+class TestVectorizedPlanning:
+    def test_scan_filter_project_fuses_into_one_operator(self, db):
+        planned = plan(db, "SELECT x + 1 FROM a WHERE x > 1 AND y < 9")
+        fused = [op for op in operators_in(planned.root)
+                 if isinstance(op, FusedScanFilterProject)]
+        assert len(fused) == 1
+        assert len(fused[0].predicates) == 2
+        assert fused[0].projections is not None
+        assert [row for row, _lin in planned.root] == [(3,)]
+
+    def test_row_mode_emits_classic_operators(self, db):
+        with row_at_a_time_plans():
+            planned = plan(db, "SELECT x + 1 FROM a WHERE x > 1 ORDER BY 1")
+        kinds = [type(op) for op in operators_in(planned.root)]
+        assert Sort in kinds
+        assert Project in kinds
+        assert Filter in kinds
+        assert SeqScan in kinds
+
+    def test_build_side_prefers_smaller_table(self, db):
+        # a has 2 rows, b has 2; add rows so b is strictly larger
+        db.execute("INSERT INTO b VALUES (5, 'five'), (6, 'six')")
+        planned = plan(db, "SELECT 1 FROM b, a WHERE a.x = b.x")
+        join = next(op for op in operators_in(planned.root)
+                    if isinstance(op, HashJoin))
+        sides = {"left": join.left, "right": join.right}
+        built = sides[join.build_side]
+        scans = [op for op in operators_in(built)
+                 if isinstance(op, SeqScan)]
+        assert scans and scans[0].table.name == "a"
+
+    def test_left_join_always_builds_right(self, db):
+        planned = plan(
+            db, "SELECT 1 FROM b LEFT JOIN a ON a.x = b.x")
+        join = next(op for op in operators_in(planned.root)
+                    if isinstance(op, HashJoin))
+        assert join.build_side == "right"
+
+    def test_in_list_uses_hash_index(self, db):
+        db.execute("CREATE INDEX a_x ON a (x)")
+        planned = plan(db, "SELECT y FROM a WHERE x IN (1, 2, 7)")
+        scans = [op for op in operators_in(planned.root)
+                 if isinstance(op, IndexScan)]
+        assert len(scans) == 1
+        assert len(scans[0].value_expressions) == 3
+        assert sorted(row[0] for row, _lin in planned.root) == [1.5, 2.5]
+
+    def test_negated_in_list_does_not_use_index(self, db):
+        db.execute("CREATE INDEX a_x ON a (x)")
+        planned = plan(db, "SELECT y FROM a WHERE x NOT IN (1, 2)")
+        assert not any(isinstance(op, IndexScan)
+                       for op in operators_in(planned.root))
 
 
 class TestTypeInference:
