@@ -94,14 +94,35 @@ class ReplayInterceptor(Interceptor):
 
 def _stub_transport(request_text: str) -> str:
     """The 'simulated DB' endpoint of a server-excluded replay: it
-    accepts connections but can answer no queries (the interceptor
-    must have substituted every result before this point)."""
+    accepts connections and acknowledges statement-free bookkeeping
+    frames (prepare/deallocate/close-cursor), but can answer no
+    queries — the interceptor must have substituted every result
+    before this point. Prepared and streamed executions go through
+    the same ``before_execute`` hook as text statements (the client
+    hands interceptors the canonical bound SQL), so substituting them
+    needs nothing extra here."""
     frame = protocol.decode_frame(request_text)
     kind = frame.get("frame")
     if kind == "connect":
-        response = protocol.connected_frame(1)
+        client_version = frame.get("version", 1)
+        response = protocol.connected_frame(
+            1, min(protocol.PROTOCOL_VERSION, client_version))
     elif kind == "close":
         response = protocol.closed_frame()
+    elif kind == "prepare":
+        # parse locally for the parameter count; planning happens
+        # nowhere — execution will be substituted
+        from repro.db.sql.params import max_parameter_index
+        from repro.db.sql.parser import parse_sql
+
+        statements = parse_sql(frame.get("sql", ""))
+        count = max_parameter_index(statements[0]) if statements else 0
+        response = protocol.prepared_frame(frame.get("name", ""), count)
+    elif kind == "deallocate":
+        response = protocol.deallocated_frame(frame.get("name", ""))
+    elif kind == "close-cursor":
+        response = protocol.cursor_closed_frame(
+            frame.get("cursor_id", 0))
     else:
         response = protocol.error_frame(
             "ReplayError",

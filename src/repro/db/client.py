@@ -18,6 +18,8 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.db import protocol
 from repro.db.engine import StatementResult
+from repro.db.sql.params import bind_sql_text
+from repro.db.types import Column, Schema, SQLType
 from repro.errors import (
     ConnectionClosedError,
     DatabaseError,
@@ -77,8 +79,8 @@ class Interceptor:
         """Called when the connection closes."""
 
 
-def _raise_from_error_frame(frame: dict[str, Any]) -> None:
-    """Re-raise a server-side error as the matching local exception."""
+def _error_from_frame(frame: dict[str, Any]) -> Exception:
+    """Build the local exception matching a server-side error frame."""
     error_type = frame.get("error_type", "DatabaseError")
     message = frame.get("message", "unknown server error")
     exception_class = getattr(errors_module, error_type, None)
@@ -86,7 +88,299 @@ def _raise_from_error_frame(frame: dict[str, Any]) -> None:
             isinstance(exception_class, type)
             and issubclass(exception_class, Exception)):
         exception_class = DatabaseError
-    raise exception_class(message)
+    return exception_class(message)
+
+
+def _raise_from_error_frame(frame: dict[str, Any]) -> None:
+    """Re-raise a server-side error as the matching local exception."""
+    raise _error_from_frame(frame)
+
+
+def _schema_from_frame(frame: dict[str, Any]) -> Schema:
+    return Schema([Column(name, SQLType(type_name))
+                   for name, type_name in zip(frame["columns"],
+                                              frame["types"])])
+
+
+class Prepared:
+    """A client-side handle to a server-side prepared statement."""
+
+    def __init__(self, client: "DBClient", name: str, sql: str,
+                 param_count: int) -> None:
+        self.client = client
+        self.name = name
+        self.sql = sql
+        self.param_count = param_count
+        self.closed = False
+
+    def execute(self, params: list | tuple = (),
+                provenance: bool = False) -> StatementResult:
+        return self.client._execute_prepared(self, params, provenance)
+
+    def query(self, params: list | tuple = ()) -> list[tuple]:
+        return self.execute(params).rows
+
+    def stream(self, params: list | tuple = (),
+               fetch_size: int = 256,
+               provenance: bool = False) -> "ResultCursor":
+        return self.client.execute_stream(self, params=params,
+                                          fetch_size=fetch_size,
+                                          provenance=provenance)
+
+    def deallocate(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.client._deallocate(self.name)
+
+    def bound_sql(self, params: list | tuple) -> str:
+        """The canonical SQL text with ``params`` substituted — what
+        interceptors (the monitor) observe for this execution, so a
+        prepared call records and replays exactly like the equivalent
+        text-protocol statement."""
+        return bind_sql_text(self.sql, params)
+
+
+class ResultCursor:
+    """A streamed result set drained in bounded chunks.
+
+    The first chunk arrives with the opening response (time-to-first-
+    row does not wait for the full scan); ``fetch``/iteration pull
+    further chunks over ``fetch`` frames. Once the stream is exhausted
+    (or closed), the assembled prefix is reported to ``after_execute``
+    interceptors as one ordinary result, so recorded traces stay
+    replayable: a server-excluded replay substitutes the full result
+    and the cursor chunks it locally.
+    """
+
+    def __init__(self, client: "DBClient", sql: str, provenance: bool,
+                 schema: Schema, rows: list[tuple], lineages: list,
+                 done: bool, fetch_size: int,
+                 cursor_id: int | None = None,
+                 source_tables: list[str] | None = None,
+                 remote: bool = True) -> None:
+        self.client = client
+        self.sql = sql
+        self.provenance = provenance
+        self.schema = schema
+        self.cursor_id = cursor_id
+        self.fetch_size = fetch_size
+        self.source_tables = source_tables or []
+        self.rows_fetched = 0
+        self.chunks_fetched = 0
+        self.closed = False
+        self._remote = remote
+        self._done = done
+        self._pending: list[tuple] = list(rows)
+        self._pending_lineages: list = list(lineages)
+        self._rows: list[tuple] = []
+        self._lineages: list = []
+        self._reported = False
+        self._absorb()
+        if self._done and not self._pending:
+            self._finish()
+
+    @property
+    def done(self) -> bool:
+        return self._done and not self._pending
+
+    def _absorb(self) -> None:
+        self.rows_fetched += len(self._pending)
+        if self._pending:
+            self.chunks_fetched += 1
+        self._rows.extend(self._pending)
+        self._lineages.extend(self._pending_lineages)
+
+    def fetch(self, max_rows: int | None = None) -> list[tuple]:
+        """The next chunk of rows ([] when the stream is exhausted)."""
+        if self.closed:
+            raise ProtocolError("cursor is closed")
+        limit = max_rows or self.fetch_size
+        if not self._pending:
+            if self._done:
+                self._finish()
+                return []
+            response = self.client._round_trip(protocol.fetch_frame(
+                self.client.connection_id, self.cursor_id, limit))
+            if response.get("frame") == "error":
+                _raise_from_error_frame(response)
+            if response.get("frame") != "chunk":
+                raise ProtocolError(
+                    f"unexpected fetch response {response.get('frame')!r}")
+            self._pending = [tuple(row) for row in response["rows"]]
+            self._pending_lineages = list(response["lineages"])
+            self._done = bool(response["done"])
+            self._absorb()
+        chunk = self._pending[:limit]
+        del self._pending[:limit]
+        del self._pending_lineages[:limit]
+        if self._done and not self._pending:
+            self._finish()
+        return chunk
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            chunk = self.fetch()
+            if not chunk:
+                return
+            yield from chunk
+
+    def fetch_all(self) -> list[tuple]:
+        """Drain the stream and return every remaining row."""
+        rows: list[tuple] = []
+        for row in self:
+            rows.append(row)
+        return rows
+
+    def result(self) -> StatementResult:
+        """The rows served so far, as one StatementResult."""
+        lineages = [lineage if isinstance(lineage, frozenset)
+                    else frozenset(protocol._ref_from_wire(ref)
+                                   for ref in lineage)
+                    for lineage in self._lineages]
+        return StatementResult(
+            kind="select", schema=self.schema, rows=list(self._rows),
+            lineages=lineages, rowcount=len(self._rows),
+            source_tables=list(self.source_tables))
+
+    def close(self) -> None:
+        """Release the server-side cursor; idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._remote and not self._done:
+            self.client._round_trip(protocol.close_cursor_frame(
+                self.client.connection_id, self.cursor_id))
+        self._done = True
+        self._pending = []
+        self._pending_lineages = []
+        self._report()
+
+    def _finish(self) -> None:
+        self._report()
+
+    def _report(self) -> None:
+        if self._reported:
+            return
+        self._reported = True
+        self.client._after_execute(self.sql, self.provenance,
+                                   self.result())
+
+
+class PipelineHandle:
+    """The eventual outcome of one pipelined statement."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self._result: Optional[StatementResult] = None
+        self._error: Optional[Exception] = None
+        self._settled = False
+
+    def _settle(self, result: Optional[StatementResult],
+                error: Optional[Exception]) -> None:
+        self._result = result
+        self._error = error
+        self._settled = True
+
+    @property
+    def settled(self) -> bool:
+        return self._settled
+
+    def result(self) -> StatementResult:
+        if not self._settled:
+            raise ProtocolError(
+                "pipeline has not been flushed yet")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def rows(self) -> list[tuple]:
+        return self.result().rows
+
+
+class Pipeline:
+    """Batches statements into one wire exchange.
+
+    ``execute``/``execute_prepared`` queue work and return
+    :class:`PipelineHandle`\\ s; :meth:`flush` ships every queued frame
+    in a single ``pipeline`` envelope (one round trip, one group-commit
+    fsync on the server) and settles the handles in order. Frame
+    failures are isolated: a failed statement settles its handle with
+    the error while later statements still execute.
+
+    Statements substituted by an interceptor (server-excluded replay)
+    settle immediately and never reach the wire.
+    """
+
+    def __init__(self, client: "DBClient") -> None:
+        self.client = client
+        self._queued: list[
+            tuple[dict, PipelineHandle, str, bool, str]] = []
+
+    def execute(self, sql: str,
+                provenance: bool = False) -> PipelineHandle:
+        handle = PipelineHandle(sql)
+        substituted = self.client._substitute(sql, provenance, "text")
+        if substituted is not None:
+            self.client._after_execute(sql, provenance, substituted)
+            handle._settle(substituted, None)
+            return handle
+        frame = protocol.query_frame(self.client.connection_id, sql,
+                                     provenance)
+        self._queued.append((frame, handle, sql, provenance, "text"))
+        return handle
+
+    def execute_prepared(self, prepared: Prepared,
+                         params: list | tuple = (),
+                         provenance: bool = False) -> PipelineHandle:
+        bound_sql = (prepared.bound_sql(params)
+                     if self.client.interceptors else prepared.sql)
+        handle = PipelineHandle(bound_sql)
+        substituted = self.client._substitute(bound_sql, provenance,
+                                              "prepared")
+        if substituted is not None:
+            self.client._after_execute(bound_sql, provenance, substituted)
+            handle._settle(substituted, None)
+            return handle
+        frame = protocol.bind_execute_frame(
+            self.client.connection_id, prepared.name, list(params),
+            provenance)
+        self._queued.append((frame, handle, bound_sql, provenance,
+                             "prepared"))
+        return handle
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def flush(self) -> None:
+        """Ship the queued frames in one exchange and settle every
+        handle; a no-op when nothing is queued."""
+        if not self._queued:
+            return
+        queued, self._queued = self._queued, []
+        envelope = protocol.pipeline_frame(
+            self.client.connection_id,
+            [frame for frame, _, _, _, _ in queued])
+        response = self.client._round_trip(envelope)
+        if response.get("frame") != "pipeline-result":
+            raise ProtocolError(
+                f"unexpected pipeline response {response.get('frame')!r}")
+        frames = response.get("frames") or []
+        if len(frames) != len(queued):
+            raise ProtocolError(
+                f"pipeline answered {len(frames)} frames "
+                f"for {len(queued)} requests")
+        for inner, (_, handle, sql, provenance, path) in zip(frames,
+                                                             queued):
+            status = inner.get("txn")
+            if status is not None:
+                self.client.in_transaction = status == "open"
+            if inner.get("frame") == "error":
+                handle._settle(None, _error_from_frame(inner))
+                continue
+            result = protocol.result_from_wire(inner)
+            self.client.last_execution_path = path
+            self.client._after_execute(sql, provenance, result)
+            handle._settle(result, None)
 
 
 class DBClient:
@@ -114,6 +408,13 @@ class DBClient:
         # mirrors the server's view, updated from the txn field the
         # server stamps on per-connection responses
         self.in_transaction = False
+        # negotiated on connect: min(client, server); None until then
+        self.protocol_version: Optional[int] = None
+        # how the last statement reached the server ("text",
+        # "prepared", or "stream") — the monitor records it so replay
+        # can tell the paths apart
+        self.last_execution_path = "text"
+        self._prepared_seq = 0
 
     # -- interposition -----------------------------------------------------------
 
@@ -138,6 +439,8 @@ class DBClient:
             raise ProtocolError(
                 f"unexpected connect response {response.get('frame')!r}")
         self.connection_id = int(response["connection_id"])
+        # a version-1 server's connected frame lacks the field
+        self.protocol_version = int(response.get("version", 1))
         for interceptor in self.interceptors:
             interceptor.on_connect(self)
 
@@ -170,27 +473,171 @@ class DBClient:
         """
         if not self.connected:
             raise ConnectionClosedError("client is not connected")
-        substituted: Optional[StatementResult] = None
-        for interceptor in self.interceptors:
-            substituted = interceptor.before_execute(self, sql, provenance)
-            if substituted is not None:
-                break
-        if substituted is not None:
-            result = substituted
-        else:
+        result = self._substitute(sql, provenance, "text")
+        if result is None:
             response = self._round_trip(
                 protocol.query_frame(self.connection_id, sql, provenance))
             if response.get("frame") == "error":
                 _raise_from_error_frame(response)
             result = protocol.result_from_wire(response)
-        self.statements_sent += 1
-        for interceptor in self.interceptors:
-            interceptor.after_execute(self, sql, provenance, result)
+        self._after_execute(sql, provenance, result)
         return result
 
     def query(self, sql: str) -> list[tuple]:
         """Shorthand: run a SELECT and return its rows."""
         return self.execute(sql).rows
+
+    # -- prepared statements (protocol v2) ----------------------------------------------
+
+    def prepare(self, sql: str, name: str | None = None) -> Prepared:
+        """Parse and plan ``sql`` once on the server; execute it many
+        times with different ``$n`` parameter bindings."""
+        if not self.connected:
+            raise ConnectionClosedError("client is not connected")
+        if name is None:
+            self._prepared_seq += 1
+            name = f"ps{self._prepared_seq}"
+        response = self._round_trip(
+            protocol.prepare_frame(self.connection_id, name, sql))
+        if response.get("frame") != "prepared":
+            raise ProtocolError(
+                f"unexpected prepare response {response.get('frame')!r}")
+        return Prepared(self, str(response["name"]), sql,
+                        int(response["param_count"]))
+
+    def _execute_prepared(self, prepared: Prepared,
+                          params: list | tuple,
+                          provenance: bool) -> StatementResult:
+        if not self.connected:
+            raise ConnectionClosedError("client is not connected")
+        if prepared.closed:
+            raise ProtocolError(
+                f"prepared statement {prepared.name!r} was deallocated")
+        # interceptors observe the canonical bound text, never the
+        # frame internals, so prepared traffic records and replays
+        # exactly like the equivalent text statement; rendering it is
+        # pure monitoring overhead, skipped on un-audited connections
+        bound_sql = (prepared.bound_sql(params) if self.interceptors
+                     else prepared.sql)
+        result = self._substitute(bound_sql, provenance, "prepared")
+        if result is None:
+            response = self._round_trip(protocol.bind_execute_frame(
+                self.connection_id, prepared.name, list(params),
+                provenance))
+            result = protocol.result_from_wire(response)
+        self._after_execute(bound_sql, provenance, result)
+        return result
+
+    def _deallocate(self, name: str) -> None:
+        if not self.connected:
+            return
+        self._round_trip(protocol.deallocate_frame(self.connection_id,
+                                                   name))
+
+    # -- streamed result sets (protocol v2) ---------------------------------------------
+
+    def execute_stream(self, source: "str | Prepared",
+                       params: list | tuple = (),
+                       fetch_size: int = 256,
+                       provenance: bool = False) -> ResultCursor:
+        """Run a SELECT and stream its rows in bounded chunks.
+
+        Returns a :class:`ResultCursor` whose first chunk rode along
+        with the opening response; further chunks are pulled on demand.
+        The server pins the cursor to the statement's snapshot, so the
+        stream is immune to concurrent commits.
+        """
+        if not self.connected:
+            raise ConnectionClosedError("client is not connected")
+        if isinstance(source, Prepared):
+            if source.closed:
+                raise ProtocolError(
+                    f"prepared statement {source.name!r} was deallocated")
+            sql = (source.bound_sql(params) if self.interceptors
+                   else source.sql)
+            frame = protocol.bind_execute_frame(
+                self.connection_id, source.name, list(params),
+                provenance, fetch=fetch_size)
+        else:
+            sql = bind_sql_text(source, params) if params else source
+            frame = protocol.query_frame(self.connection_id, sql,
+                                         provenance, fetch=fetch_size)
+        substituted = self._substitute(sql, provenance, "stream")
+        if substituted is not None:
+            # server-excluded replay: chunk the substituted result
+            # locally, no wire traffic at all
+            return ResultCursor(
+                self, sql, provenance, substituted.schema,
+                list(substituted.rows), list(substituted.lineages),
+                True, fetch_size,
+                source_tables=list(substituted.source_tables),
+                remote=False)
+        response = self._round_trip(frame)
+        if response.get("frame") == "error":
+            _raise_from_error_frame(response)
+        if response.get("frame") != "cursor":
+            raise ProtocolError(
+                f"unexpected stream response {response.get('frame')!r}")
+        return ResultCursor(
+            self, sql, provenance, _schema_from_frame(response),
+            [tuple(row) for row in response["rows"]],
+            list(response["lineages"]), bool(response["done"]),
+            fetch_size, cursor_id=int(response["cursor_id"]),
+            source_tables=list(response["source_tables"]))
+
+    # -- pipelining (protocol v2) -------------------------------------------------------
+
+    @contextmanager
+    def pipeline(self) -> Iterator[Pipeline]:
+        """Batch statements into one wire exchange.
+
+        >>> with client.pipeline() as p:            # doctest: +SKIP
+        ...     a = p.execute("INSERT INTO t VALUES (1)")
+        ...     b = p.execute("SELECT x FROM t")
+        >>> b.rows()                                # doctest: +SKIP
+
+        The block's queued statements are flushed on exit (one round
+        trip, one group-commit fsync); results are read off the
+        handles afterwards.
+        """
+        if not self.connected:
+            raise ConnectionClosedError("client is not connected")
+        batch = Pipeline(self)
+        yield batch
+        batch.flush()
+
+    # -- server observability -----------------------------------------------------------
+
+    def server_stats(self) -> dict[str, Any]:
+        """Server- and connection-level serving counters."""
+        if not self.connected:
+            raise ConnectionClosedError("client is not connected")
+        response = self._round_trip(
+            protocol.stats_frame(self.connection_id))
+        if response.get("frame") != "stats-result":
+            raise ProtocolError(
+                f"unexpected stats response {response.get('frame')!r}")
+        return {"server": response["server"],
+                "connection": response["connection"]}
+
+    # -- interceptor plumbing -----------------------------------------------------------
+
+    def _substitute(self, sql: str, provenance: bool,
+                    path: str) -> Optional[StatementResult]:
+        """Offer ``sql`` to the interceptors; the first substituted
+        result (server-excluded replay) wins."""
+        self.last_execution_path = path
+        for interceptor in self.interceptors:
+            result = interceptor.before_execute(self, sql, provenance)
+            if result is not None:
+                return result
+        return None
+
+    def _after_execute(self, sql: str, provenance: bool,
+                       result: StatementResult) -> None:
+        self.statements_sent += 1
+        for interceptor in self.interceptors:
+            interceptor.after_execute(self, sql, provenance, result)
 
     # -- transactions -----------------------------------------------------------------
 

@@ -52,7 +52,7 @@ from repro.clockwork import LogicalClock
 from repro.db import csvio
 from repro.db.catalog import Catalog
 from repro.db.executor import MaterializedSource
-from repro.db.expressions import Evaluator
+from repro.db.expressions import Evaluator, bound_parameters
 from repro.db.mvcc import (
     ReadView,
     Session,
@@ -63,6 +63,7 @@ from repro.db.planner import PlannedQuery, plan_select
 from repro.db.provtypes import EMPTY_LINEAGE, TupleRef
 from repro.db.vector import BatchOperator
 from repro.db.sql import ast
+from repro.db.sql.params import bind_statement, max_parameter_index
 from repro.db.sql.parser import parse_sql
 from repro.db.subquery import expand_statement, has_subqueries
 from repro.db.fileio import FileIO
@@ -87,6 +88,7 @@ from repro.errors import (
     ExecutionError,
     IntegrityError,
     SQLSyntaxError,
+    StatementTimeout,
     TransactionError,
     WALCorruptionError,
     WriteConflictError,
@@ -109,6 +111,10 @@ class StatementResult:
     # free-form measurements: EXPLAIN ANALYZE fills "analyze" with
     # per-operator counters, the server adds wire-side timing
     stats: dict[str, Any] = field(default_factory=dict)
+    # engine-internal: True when the statement was a plan-cacheable
+    # SELECT, whose source_tables list is complete — the only results
+    # the server result cache may store. Never serialized to the wire.
+    cacheable: bool = False
 
     @property
     def column_names(self) -> list[str]:
@@ -196,6 +202,151 @@ class PlanCache:
             return len(self._entries)
 
 
+@dataclass
+class PreparedStatement:
+    """A statement parsed once, executed many times with ``$n``
+    parameter values (the engine half of the wire's prepare /
+    bind-execute / deallocate cycle)."""
+
+    sql: str
+    statement: ast.Statement
+    param_count: int
+    cacheable: bool
+    # normalized once at prepare time; plan-cache and result-cache
+    # keys on the execution path reuse it instead of re-normalizing
+    normalized_sql: str = ""
+
+
+class Cursor:
+    """An incrementally-drained SELECT, pinned to a snapshot.
+
+    Opened inside a transaction, the cursor reads the transaction's
+    snapshot (and write-set) and dies with it. Opened in autocommit, it
+    registers its own snapshot with the MVCC state — exactly like a
+    read-only transaction — so history pruning preserves every version
+    the remaining rows need until the cursor is closed or exhausted.
+
+    ``fetch`` resumes the plan's iterator under the pinned read view
+    and the cursor's parameter bindings, so a cached (shared) plan
+    streams snapshot-correct rows regardless of what other sessions
+    commit between chunks.
+    """
+
+    def __init__(self, database: "Database", schema: Schema,
+                 source_tables: list[str], session: Session,
+                 planned: PlannedQuery | None = None,
+                 params: tuple = (),
+                 materialized: "StatementResult | None" = None) -> None:
+        self.database = database
+        self.schema = schema
+        self.source_tables = source_tables
+        self.session = session
+        self.done = False
+        self.rows_served = 0
+        self._params = tuple(params)
+        self._closed = False
+        self._owns_txn_id: Optional[int] = None
+        self._context: Optional[TransactionContext] = None
+        self._view: Optional[ReadView] = None
+        if materialized is not None:
+            # non-streamable statements (subqueries, UNION) execute
+            # eagerly; the cursor only chunks the materialized rows
+            self._iterator: Iterator = iter(
+                zip(materialized.rows, materialized.lineages))
+        else:
+            context = session.txn
+            if context is None:
+                # pin an autocommit snapshot: a private read-only
+                # "transaction" that holds back history pruning
+                txn_id = database._next_txn_id
+                database._next_txn_id += 1
+                context = TransactionContext(txn_id, database.clock.now)
+                database.mvcc.begin(txn_id, context.snapshot)
+                self._owns_txn_id = txn_id
+            self._context = context
+            self._view = ReadView(context.snapshot, context,
+                                  database.mvcc)
+            self._iterator = self._produce(planned.root)
+
+    @property
+    def defunct(self) -> bool:
+        """True when the transaction that pinned this cursor's snapshot
+        has ended — the server reaps such cursors."""
+        return (self._owns_txn_id is None and self._context is not None
+                and self.session.txn is not self._context)
+
+    @staticmethod
+    def _produce(root) -> Iterator[tuple[tuple, frozenset]]:
+        if isinstance(root, BatchOperator):
+            for batch in root.batches():
+                rows = batch.rows()
+                lineages = batch.gathered_lineages()
+                if lineages is None:
+                    lineages = [EMPTY_LINEAGE] * len(rows)
+                yield from zip(rows, lineages)
+        else:
+            yield from root
+
+    def fetch(self, max_rows: int) -> tuple[list[tuple], list[frozenset]]:
+        """Pull up to ``max_rows`` more rows (with their lineages);
+        sets :attr:`done` when the plan is exhausted."""
+        if self._closed:
+            raise ExecutionError("cursor is closed")
+        if max_rows < 1:
+            raise ExecutionError("fetch size must be positive")
+        if self.done:
+            return [], []
+        if (self._owns_txn_id is None and self._context is not None
+                and self.session.txn is not self._context):
+            # the owning transaction committed or rolled back: the
+            # snapshot (and any overlay rows) the cursor was reading
+            # are gone
+            self.close()
+            raise ExecutionError(
+                "cursor is no longer valid: its transaction ended")
+        rows: list[tuple] = []
+        lineages: list[frozenset] = []
+        if self._view is not None:
+            state = self.database.mvcc
+            previous = state.current
+            state.current = self._view
+            try:
+                with bound_parameters(self._params):
+                    self._pull(rows, lineages, max_rows)
+            finally:
+                state.current = previous
+        else:
+            self._pull(rows, lineages, max_rows)
+        self.rows_served += len(rows)
+        if self.done:
+            self._release()
+        return rows, lineages
+
+    def _pull(self, rows: list, lineages: list, max_rows: int) -> None:
+        while len(rows) < max_rows:
+            try:
+                values, lineage = next(self._iterator)
+            except StopIteration:
+                self.done = True
+                return
+            rows.append(values)
+            lineages.append(lineage)
+
+    def close(self) -> None:
+        """Release the pinned snapshot; idempotent."""
+        if not self._closed:
+            self._closed = True
+            self.done = True
+            self._release()
+
+    def _release(self) -> None:
+        self._iterator = iter(())
+        if self._owns_txn_id is not None:
+            self.database.mvcc.end(self._owns_txn_id)
+            self._owns_txn_id = None
+            self.database._prune_mvcc()
+
+
 class Database:
     """An embedded database instance.
 
@@ -227,6 +378,11 @@ class Database:
         self._next_session_id = 1
         self._next_txn_id = 1
         self.session = self.create_session("default")
+        # cooperative statement deadline (see statement_deadline):
+        # checked between row batches so runaway scans can be cancelled
+        self._deadline: Optional[float] = None
+        self._deadline_timer: Optional[Callable[[], float]] = None
+        self._deadline_budget: Optional[float] = None
         # WAL batch state: redo records buffered since the last commit
         # marker, and which tables the batch touched/dropped
         self.wal: Optional[WriteAheadLog] = None
@@ -308,6 +464,7 @@ class Database:
 
     def _log_put(self, table: HeapTable, rowid: int) -> None:
         self._touched_tables.add(table.name)
+        self.mvcc.note_write(table.name, self.clock.now)
         if self.wal is not None:
             self.wal.append({
                 "op": "put", "table": table.name, "rowid": rowid,
@@ -319,6 +476,7 @@ class Database:
 
     def _log_delete(self, table: HeapTable, rowid: int) -> None:
         self._touched_tables.add(table.name)
+        self.mvcc.note_write(table.name, self.clock.now)
         if self.wal is not None:
             self.wal.append({"op": "delete", "table": table.name,
                              "rowid": rowid})
@@ -412,6 +570,49 @@ class Database:
         finally:
             self.wal.end_group()
 
+    @property
+    def commit_count(self) -> int:
+        """Commit markers written to the WAL (0 without a WAL)."""
+        return self.wal.commit_count if self.wal is not None else 0
+
+    @property
+    def fsync_count(self) -> int:
+        """WAL fsyncs issued (group commit shares one across a batch)."""
+        return self.wal.fsync_count if self.wal is not None else 0
+
+    # -- cooperative statement deadline ------------------------------------------
+
+    @contextmanager
+    def statement_deadline(self, deadline: float,
+                           timer: Callable[[], float],
+                           budget: float | None = None) -> Iterator[None]:
+        """Cancel statement execution once ``timer()`` passes
+        ``deadline``. The check runs between row batches (and every
+        1024 rows on the tuple path), so a runaway scan raises
+        :class:`StatementTimeout` mid-statement instead of only being
+        noticed after it finishes."""
+        previous = (self._deadline, self._deadline_timer,
+                    self._deadline_budget)
+        self._deadline = deadline
+        self._deadline_timer = timer
+        self._deadline_budget = budget
+        try:
+            yield
+        finally:
+            (self._deadline, self._deadline_timer,
+             self._deadline_budget) = previous
+
+    def _check_deadline(self) -> None:
+        if self._deadline is None:
+            return
+        now = self._deadline_timer()
+        if now > self._deadline:
+            budget = self._deadline_budget
+            detail = (f"the {budget}s budget" if budget is not None
+                      else "its deadline")
+            raise StatementTimeout(
+                f"statement exceeded {detail} (cancelled mid-statement)")
+
     # -- public API --------------------------------------------------------------
 
     def execute(self, sql: str, provenance: bool = False,
@@ -428,7 +629,9 @@ class Database:
         planned = self.plan_cache.get(key)
         if planned is not None:
             with self._read_view(session):
-                return self._run_planned_select(planned)
+                result = self._run_planned_select(planned)
+            result.cacheable = True
+            return result
         statements = parse_sql(sql)
         if len(statements) != 1:
             raise SQLSyntaxError(
@@ -439,8 +642,102 @@ class Database:
             planned = plan_select(statement, self.catalog, track)
             self.plan_cache.put(key, planned)
             with self._read_view(session):
-                return self._run_planned_select(planned)
+                result = self._run_planned_select(planned)
+            result.cacheable = True
+            return result
         return self.execute_statement(statement, provenance, session)
+
+    # -- prepared statements and cursors ----------------------------------------
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse (and classify) one statement for repeated execution
+        with ``$n`` parameters."""
+        statements = parse_sql(sql)
+        if len(statements) != 1:
+            raise SQLSyntaxError(
+                f"prepare() expects one statement, got {len(statements)}")
+        statement = statements[0]
+        return PreparedStatement(
+            sql=sql, statement=statement,
+            param_count=max_parameter_index(statement),
+            cacheable=self._plan_cacheable(statement),
+            normalized_sql=PlanCache.normalize(sql))
+
+    def _check_param_count(self, prepared: PreparedStatement,
+                           params: tuple) -> None:
+        if len(params) != prepared.param_count:
+            raise ExecutionError(
+                f"prepared statement expects {prepared.param_count} "
+                f"parameter(s), got {len(params)}")
+
+    def _planned_for(self, prepared: PreparedStatement,
+                     provenance: bool) -> PlannedQuery:
+        """The (cached) plan for a cacheable prepared statement. Keys
+        match the text path, so ``prepare`` + ``execute`` share one
+        cache entry per template."""
+        key = (prepared.normalized_sql or PlanCache.normalize(prepared.sql),
+               bool(provenance), self.catalog.version)
+        planned = self.plan_cache.get(key)
+        if planned is None:
+            track = provenance or prepared.statement.provenance
+            planned = plan_select(prepared.statement, self.catalog, track)
+            self.plan_cache.put(key, planned)
+        return planned
+
+    def execute_prepared(self, prepared: PreparedStatement,
+                         params: Iterable[Any] = (),
+                         provenance: bool = False,
+                         session: Session | None = None) -> StatementResult:
+        """Bind ``params`` to a prepared statement and execute it.
+
+        Cacheable SELECT templates skip parse *and* plan: the cached
+        plan's compiled closures read the parameter values from the
+        ambient binding installed for the duration of the statement.
+        Everything else (DML, subqueries) substitutes literals into the
+        stored AST and runs the ordinary execution path — still
+        skipping the per-call parse.
+        """
+        session = session if session is not None else self.session
+        params = tuple(params)
+        self._check_param_count(prepared, params)
+        if prepared.cacheable:
+            planned = self._planned_for(prepared, provenance)
+            with self._read_view(session), bound_parameters(params):
+                result = self._run_planned_select(planned)
+            result.cacheable = True
+            return result
+        statement = (bind_statement(prepared.statement, params)
+                     if prepared.param_count else prepared.statement)
+        return self.execute_statement(statement, provenance, session)
+
+    def open_cursor(self, source: "str | PreparedStatement",
+                    params: Iterable[Any] = (),
+                    session: Session | None = None,
+                    provenance: bool = False) -> Cursor:
+        """Open a streamed result set for a SELECT.
+
+        Plan-cacheable SELECTs stream incrementally from the operator
+        tree under a pinned snapshot; other SELECT shapes (subqueries,
+        UNION) materialize eagerly and the cursor merely chunks the
+        rows. Non-SELECT statements are rejected.
+        """
+        session = session if session is not None else self.session
+        prepared = (source if isinstance(source, PreparedStatement)
+                    else self.prepare(source))
+        params = tuple(params)
+        self._check_param_count(prepared, params)
+        if prepared.cacheable:
+            planned = self._planned_for(prepared, provenance)
+            return Cursor(self, planned.schema,
+                          list(planned.source_tables), session,
+                          planned=planned, params=params)
+        result = self.execute_prepared(prepared, params, provenance,
+                                       session)
+        if result.kind != "select":
+            raise ExecutionError(
+                "only SELECT statements can be streamed")
+        return Cursor(self, result.schema, list(result.source_tables),
+                      session, materialized=result)
 
     @staticmethod
     def _plan_cacheable(statement: ast.Statement) -> bool:
@@ -596,17 +893,22 @@ class Database:
         planned = plan_select(select, self.catalog, track_lineage)
         return self._run_planned_select(planned)
 
-    @staticmethod
-    def _materialize_root(root) -> tuple[list[tuple], list[frozenset]]:
+    def _materialize_root(self, root) -> tuple[list[tuple], list[frozenset]]:
         """Pull an operator tree to completion.
 
         Batch plans drain whole :class:`RowBatch`es — the result
         rows/lineages are identical to row iteration, without paying a
-        generator round-trip per tuple."""
+        generator round-trip per tuple. An installed statement
+        deadline (:meth:`statement_deadline`) is checked between
+        batches, which is what lets the server cancel runaway scans
+        mid-statement."""
         rows: list[tuple] = []
         lineages: list[frozenset] = []
+        check = self._deadline is not None
         if isinstance(root, BatchOperator):
             for batch in root.batches():
+                if check:
+                    self._check_deadline()
                 rows.extend(batch.rows())
                 gathered = batch.gathered_lineages()
                 if gathered is None:
@@ -614,9 +916,15 @@ class Database:
                 else:
                     lineages.extend(gathered)
         else:
+            pending = 0
             for values, lineage in root:
                 rows.append(values)
                 lineages.append(lineage)
+                if check:
+                    pending += 1
+                    if pending >= 1024:
+                        pending = 0
+                        self._check_deadline()
         return rows, lineages
 
     def _run_planned_select(self, planned: PlannedQuery) -> StatementResult:

@@ -484,6 +484,8 @@ class Evaluator:
             return self.bindings[expression]
         if isinstance(expression, ast.Literal):
             return expression.value
+        if isinstance(expression, ast.Parameter):
+            return parameter_value(expression.index)
         if isinstance(expression, ast.ColumnRef):
             return row[self._column_index(expression)]
         if isinstance(expression, ast.BinaryOp):
@@ -651,6 +653,34 @@ class _SlotView:
         return len(self._slots.index)
 
 
+# Ambient parameter bindings for the statement currently executing.
+# Compiled closures read this at *call* time (not compile time), so a
+# plan cached for a parameterized template re-binds on every execution.
+_BOUND_PARAMS: tuple | None = None
+
+
+@contextmanager
+def bound_parameters(values):
+    """Install the positional parameter values for ``$n`` references
+    evaluated inside the block. Single-threaded per statement, like
+    the MVCC ambient read view."""
+    global _BOUND_PARAMS
+    previous = _BOUND_PARAMS
+    _BOUND_PARAMS = tuple(values)
+    try:
+        yield
+    finally:
+        _BOUND_PARAMS = previous
+
+
+def parameter_value(index: int) -> Any:
+    """Value bound to ``$index`` (1-based); raises when unbound."""
+    values = _BOUND_PARAMS
+    if values is None or not (1 <= index <= len(values)):
+        raise ExecutionError(f"parameter ${index} is not bound")
+    return values[index - 1]
+
+
 # Benchmarks flip this to quantify the compiled path against the
 # interpreter on identical plans; production code never touches it.
 _INTERPRET_ONLY = False
@@ -718,6 +748,9 @@ def _compile(node: ast.Expression, schema: Schema,
     if isinstance(node, ast.Literal):
         value = node.value
         return lambda row: value
+    if isinstance(node, ast.Parameter):
+        index = node.index
+        return lambda row: parameter_value(index)
     if isinstance(node, ast.ColumnRef):
         return _operator.itemgetter(schema.index_of(node.name,
                                                     node.qualifier))
@@ -1130,6 +1163,8 @@ def _collect_safe(node: ast.Expression, schema: Schema,
                   needed: set[int]) -> bool:
     if isinstance(node, ast.Literal):
         return True
+    if isinstance(node, ast.Parameter):
+        return True  # reads the ambient binding, no columns
     if isinstance(node, ast.ColumnRef):
         needed.add(schema.index_of(node.name, node.qualifier))
         return True
@@ -1181,6 +1216,9 @@ def _compile_batch(node: ast.Expression, schema: Schema,
     if isinstance(node, ast.Literal):
         value = node.value
         return lambda columns, sel: [value] * len(sel)
+    if isinstance(node, ast.Parameter):
+        index = node.index
+        return lambda columns, sel: [parameter_value(index)] * len(sel)
     if isinstance(node, ast.ColumnRef):
         index = schema.index_of(node.name, node.qualifier)
         return lambda columns, sel: _gather(columns[index], sel)

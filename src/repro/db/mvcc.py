@@ -143,6 +143,23 @@ class MVCCState:
         self.current: Optional[ReadView] = None
         self._active: dict[int, int] = {}  # txn_id -> snapshot tick
         self._commit_map: dict[int, int] = {}  # provisional -> commit tick
+        # highest committed write tick per table; the serving layer's
+        # result cache keys on these, so invalidation falls out of the
+        # same bookkeeping that stamps versions
+        self.table_watermarks: dict[str, int] = {}
+
+    # -- per-table commit watermarks ------------------------------------------
+
+    def note_write(self, table: str, tick: int) -> None:
+        """Record a committed write to ``table`` at ``tick``."""
+        current = self.table_watermarks.get(table, 0)
+        if tick > current:
+            self.table_watermarks[table] = tick
+
+    def watermark(self, table: str) -> int:
+        """Commit tick of the latest write to ``table`` (0 if never
+        written)."""
+        return self.table_watermarks.get(table, 0)
 
     # -- transaction registry -------------------------------------------------
 

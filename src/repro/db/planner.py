@@ -560,7 +560,7 @@ def _indexable_in_list(conjunct: ast.Expression):
     if (isinstance(conjunct, ast.InList) and not conjunct.negated
             and isinstance(conjunct.operand, ast.ColumnRef)
             and conjunct.items
-            and all(isinstance(item, ast.Literal)
+            and all(isinstance(item, (ast.Literal, ast.Parameter))
                     for item in conjunct.items)):
         return conjunct.operand, list(conjunct.items)
     return None
@@ -581,7 +581,8 @@ def _try_index_scan(fragment: _SourceSet, conjunct: ast.Expression,
         for column, constant in ((conjunct.left, conjunct.right),
                                  (conjunct.right, conjunct.left)):
             if (isinstance(column, ast.ColumnRef)
-                    and isinstance(constant, ast.Literal)):
+                    and isinstance(constant, (ast.Literal,
+                                              ast.Parameter))):
                 candidates.append((column, constant))
     else:
         in_list = _indexable_in_list(conjunct)

@@ -9,15 +9,41 @@ bytes-on-the-wire view a real libpq interceptor would.
 
 Frame types::
 
-    connect   {frame, client_name, process_id}
-    connected {frame, connection_id}
-    query     {frame, connection_id, sql, provenance}
-    result    {frame, kind, columns, types, rows, lineages, rowcount,
-               written, written_lineage, deleted, source_tables, stats,
-               txn}
-    error     {frame, error_type, message, transient, txn}
-    close     {frame, connection_id}
-    closed    {frame}
+    connect      {frame, client_name, process_id, version}
+    connected    {frame, connection_id, version}
+    query        {frame, connection_id, sql, provenance[, fetch]}
+    result       {frame, kind, columns, types, rows, lineages, rowcount,
+                  written, written_lineage, deleted, source_tables,
+                  stats, txn}
+    error        {frame, error_type, message, transient, txn}
+    close        {frame, connection_id}
+    closed       {frame}
+
+    prepare      {frame, connection_id, name, sql}
+    prepared     {frame, name, param_count}
+    bind-execute {frame, connection_id, name, params, provenance
+                  [, fetch]}
+    deallocate   {frame, connection_id, name}
+    deallocated  {frame, name}
+
+    cursor       {frame, cursor_id, columns, types, rows, lineages,
+                  done, source_tables, txn}
+    fetch        {frame, connection_id, cursor_id, max_rows}
+    chunk        {frame, cursor_id, rows, lineages, done, txn}
+    close-cursor {frame, connection_id, cursor_id}
+    cursor-closed {frame, cursor_id}
+
+    pipeline     {frame, connection_id, frames}
+    pipeline-result {frame, frames}
+    stats        {frame, connection_id}
+    stats-result {frame, server, connection}
+
+Version 2 of the protocol adds the prepared-statement, cursor,
+pipeline, and stats families. ``connect`` carries the client's
+version and ``connected`` echoes the negotiated one (the minimum of
+both sides); version-1 recordings — whose ``connected`` frames lack
+the field — still decode and replay, as do version-1 clients against
+a version-2 server.
 
 Transactions run over plain query frames (``BEGIN`` / ``COMMIT`` /
 ``ROLLBACK`` SQL); the server stamps every per-connection response
@@ -47,7 +73,7 @@ from repro.db.provtypes import TupleRef
 from repro.db.types import Column, Schema, SQLType
 from repro.errors import ProtocolError
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 
 def _ref_to_wire(ref: TupleRef) -> list:
@@ -122,14 +148,106 @@ def connect_frame(client_name: str, process_id: str) -> dict[str, Any]:
             "process_id": process_id, "version": PROTOCOL_VERSION}
 
 
-def connected_frame(connection_id: int) -> dict[str, Any]:
-    return {"frame": "connected", "connection_id": connection_id}
+def connected_frame(connection_id: int,
+                    version: int = PROTOCOL_VERSION) -> dict[str, Any]:
+    return {"frame": "connected", "connection_id": connection_id,
+            "version": version}
 
 
 def query_frame(connection_id: int, sql: str,
-                provenance: bool = False) -> dict[str, Any]:
-    return {"frame": "query", "connection_id": connection_id,
-            "sql": sql, "provenance": provenance}
+                provenance: bool = False,
+                fetch: int | None = None) -> dict[str, Any]:
+    frame = {"frame": "query", "connection_id": connection_id,
+             "sql": sql, "provenance": provenance}
+    if fetch is not None:
+        frame["fetch"] = fetch
+    return frame
+
+
+def prepare_frame(connection_id: int, name: str,
+                  sql: str) -> dict[str, Any]:
+    return {"frame": "prepare", "connection_id": connection_id,
+            "name": name, "sql": sql}
+
+
+def prepared_frame(name: str, param_count: int) -> dict[str, Any]:
+    return {"frame": "prepared", "name": name,
+            "param_count": param_count}
+
+
+def bind_execute_frame(connection_id: int, name: str,
+                       params: list | tuple = (),
+                       provenance: bool = False,
+                       fetch: int | None = None) -> dict[str, Any]:
+    frame = {"frame": "bind-execute", "connection_id": connection_id,
+             "name": name, "params": list(params),
+             "provenance": provenance}
+    if fetch is not None:
+        frame["fetch"] = fetch
+    return frame
+
+
+def deallocate_frame(connection_id: int, name: str) -> dict[str, Any]:
+    return {"frame": "deallocate", "connection_id": connection_id,
+            "name": name}
+
+
+def deallocated_frame(name: str) -> dict[str, Any]:
+    return {"frame": "deallocated", "name": name}
+
+
+def cursor_frame(cursor_id: int, schema, rows: list, lineages: list,
+                 done: bool, source_tables: list[str]) -> dict[str, Any]:
+    """First response of a streamed execute: cursor id + first chunk."""
+    return {
+        "frame": "cursor",
+        "cursor_id": cursor_id,
+        "columns": schema.column_names(),
+        "types": [sql_type.value for sql_type in schema.types()],
+        "rows": [list(row) for row in rows],
+        "lineages": _lineages_to_wire(lineages),
+        "done": done,
+        "source_tables": list(source_tables),
+    }
+
+
+def fetch_frame(connection_id: int, cursor_id: int,
+                max_rows: int) -> dict[str, Any]:
+    return {"frame": "fetch", "connection_id": connection_id,
+            "cursor_id": cursor_id, "max_rows": max_rows}
+
+
+def chunk_frame(cursor_id: int, rows: list, lineages: list,
+                done: bool) -> dict[str, Any]:
+    return {"frame": "chunk", "cursor_id": cursor_id,
+            "rows": [list(row) for row in rows],
+            "lineages": _lineages_to_wire(lineages),
+            "done": done}
+
+
+def close_cursor_frame(connection_id: int,
+                       cursor_id: int) -> dict[str, Any]:
+    return {"frame": "close-cursor", "connection_id": connection_id,
+            "cursor_id": cursor_id}
+
+
+def cursor_closed_frame(cursor_id: int) -> dict[str, Any]:
+    return {"frame": "cursor-closed", "cursor_id": cursor_id}
+
+
+def pipeline_frame(connection_id: int,
+                   frames: list[dict]) -> dict[str, Any]:
+    """Envelope batching N request frames into one exchange."""
+    return {"frame": "pipeline", "connection_id": connection_id,
+            "frames": list(frames)}
+
+
+def pipeline_result_frame(frames: list[dict]) -> dict[str, Any]:
+    return {"frame": "pipeline-result", "frames": list(frames)}
+
+
+def stats_frame(connection_id: int) -> dict[str, Any]:
+    return {"frame": "stats", "connection_id": connection_id}
 
 
 def error_frame(error_type: str, message: str,

@@ -13,18 +13,37 @@ protocol ``error`` frames (transient ones flagged so clients may
 retry). The only thing that crosses the wall is a simulated crash from
 the fault-injection harness, which — like a real ``kill -9`` — no
 handler may absorb.
+
+The serving fast path (protocol version 2) adds four per-connection
+facilities on top of plain query frames:
+
+* **prepared statements** — ``prepare`` parses and classifies once;
+  ``bind-execute`` binds ``$n`` values and runs the (plan-cached)
+  template, skipping parse and plan per call;
+* **pipelining** — a ``pipeline`` envelope executes N frames in one
+  exchange under one group-commit window (per-frame error isolation,
+  one shared WAL fsync);
+* **streamed result sets** — a ``fetch`` budget on query/bind-execute
+  answers with a cursor id plus the first chunk; ``fetch`` /
+  ``close-cursor`` frames drain it under the pinned snapshot;
+* **result cache** — read-only statements are served from
+  :class:`ResultCache`, keyed on (normalized SQL, params, catalog
+  version, per-table MVCC commit watermarks), so invalidation falls
+  out of the commit bookkeeping and hits are snapshot-correct by
+  construction.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.clockwork import LogicalClock
 from repro.db import protocol
-from repro.db.engine import Database
-from repro.db.mvcc import Session
+from repro.db.engine import Cursor, Database, PlanCache, PreparedStatement
+from repro.db.mvcc import MVCCState, Session
 from repro.errors import (
     DatabaseError,
     ProtocolError,
@@ -48,21 +67,170 @@ def _frame_transient(exc: Exception) -> bool:
             and not isinstance(exc, WriteConflictError))
 
 
+def _looks_like_select(sql: str) -> bool:
+    """Cheap syntactic gate for result-cache consultation. Only plain
+    SELECTs can produce cacheable results, so other statements skip
+    the lookup entirely (and never inflate the miss counter)."""
+    return sql.lstrip().lower().startswith("select")
+
+
+class ResultCache:
+    """Read-through cache of ``result`` frames for read-only statements.
+
+    An entry records, besides the frame, the ``catalog.version`` and
+    the per-source-table MVCC commit watermarks at store time. A
+    lookup is a hit only when every watermark (and the catalog
+    version) still matches — i.e. the cached frame reflects the
+    *latest committed state* of every table it was derived from.
+    Invalidation therefore falls out of the commit map: any commit to
+    a source table moves that table's watermark and strands the entry.
+
+    Snapshot correctness inside an open transaction needs one more
+    check: the transaction's snapshot must actually *see* the latest
+    commit to every source table (``watermark <= snapshot``) and must
+    not have private writes overlaying them. When either fails, the
+    lookup misses — without evicting, since the entry is still right
+    for current-state readers — and the statement executes under the
+    transaction's own snapshot. Results computed inside a transaction
+    are never stored.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ProtocolError("result cache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+
+    @staticmethod
+    def key(sql: str, params: tuple, provenance: bool) -> tuple:
+        return (PlanCache.normalize(sql), tuple(params), bool(provenance))
+
+    def _stale(self, entry: dict, mvcc: MVCCState,
+               catalog_version: int) -> bool:
+        if entry["catalog_version"] != catalog_version:
+            return True
+        return any(mvcc.watermark(table) != watermark
+                   for table, watermark in entry["watermarks"].items())
+
+    def lookup(self, key: tuple, mvcc: MVCCState, catalog_version: int,
+               session: Session) -> Optional[dict]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if self._stale(entry, mvcc, catalog_version):
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        context = session.txn
+        if context is not None:
+            visible = all(watermark <= context.snapshot
+                          for watermark in entry["watermarks"].values())
+            overlaid = any(
+                not overlay.empty
+                for table, overlay in context.overlays.items()
+                if table in entry["watermarks"])
+            if not visible or overlaid:
+                # correct for current-state readers, not for this
+                # snapshot: bypass without evicting
+                self.misses += 1
+                return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry["frame"]
+
+    def store(self, key: tuple, frame: dict, source_tables: list[str],
+              mvcc: MVCCState, catalog_version: int) -> None:
+        self._entries[key] = {
+            "frame": frame,
+            "catalog_version": catalog_version,
+            "watermarks": {table: mvcc.watermark(table)
+                           for table in source_tables},
+        }
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def revalidate(self, mvcc: MVCCState, catalog_version: int) -> int:
+        """Eagerly evict every entry stranded by a commit or DDL; the
+        return value is the number of invalidations, which is exact:
+        only entries whose source-table watermarks (or the catalog
+        version) actually moved are dropped."""
+        stale = [key for key, entry in self._entries.items()
+                 if self._stale(entry, mvcc, catalog_version)]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def counters(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations,
+                "size": len(self._entries)}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class _ConnectionState:
+    """Everything the server tracks per wire connection."""
+
+    __slots__ = ("process_id", "session", "protocol_version", "prepared",
+                 "cursors", "next_cursor_id", "frames_served", "bytes_in",
+                 "bytes_out")
+
+    def __init__(self, process_id: str, session: Session,
+                 protocol_version: int) -> None:
+        self.process_id = process_id
+        self.session = session
+        self.protocol_version = protocol_version
+        self.prepared: dict[str, PreparedStatement] = {}
+        self.cursors: dict[int, Cursor] = {}
+        self.next_cursor_id = 1
+        self.frames_served = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def reap_cursors(self) -> None:
+        """Close cursors whose pinning transaction ended (commit or
+        rollback tears down the snapshot they were reading)."""
+        dead = [cursor_id for cursor_id, cursor in self.cursors.items()
+                if cursor.defunct]
+        for cursor_id in dead:
+            self.cursors.pop(cursor_id).close()
+
+    def close_cursors(self) -> None:
+        for cursor in self.cursors.values():
+            cursor.close()
+        self.cursors.clear()
+
+
 class DBServer:
     """A single-process database server.
 
     ``statement_timeout`` is a per-statement wall-time budget in
     seconds; a statement that overruns it answers with a
-    ``StatementTimeout`` error frame instead of its result. The clock
-    used to measure it is injectable (``timer``) so tests — and the
-    fault harness — can drive timeouts deterministically.
+    ``StatementTimeout`` error frame instead of its result. The budget
+    is enforced *cooperatively during execution* — the engine checks
+    the deadline between row batches — so a runaway scan is cancelled
+    mid-statement rather than merely reported late. The clock used to
+    measure it is injectable (``timer``) so tests — and the fault
+    harness — can drive timeouts deterministically.
     """
 
     def __init__(self, database: Database | None = None,
                  data_directory: str | Path | None = None,
                  clock: LogicalClock | None = None,
                  statement_timeout: float | None = None,
-                 timer: Callable[[], float] = time.monotonic) -> None:
+                 timer: Callable[[], float] = time.monotonic,
+                 result_cache_size: int = 128) -> None:
         if database is not None and data_directory is not None:
             raise ProtocolError(
                 "pass either a Database or a data_directory, not both")
@@ -71,19 +239,26 @@ class DBServer:
         self.database = database
         self.statement_timeout = statement_timeout
         self.timer = timer
-        self._connections: dict[int, str] = {}
-        self._sessions: dict[int, Session] = {}
+        self.result_cache = ResultCache(result_cache_size)
+        self._states: dict[int, _ConnectionState] = {}
         self._next_connection_id = 1
         self.started = True
+        # server-wide observability counters (per-connection ones live
+        # on the _ConnectionState); pipeline envelopes count both the
+        # envelope and each inner frame
+        self.frames_served = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
 
     # -- lifecycle -------------------------------------------------------------
 
     def shutdown(self) -> None:
         """Checkpoint data files and refuse further traffic.
 
-        Open transactions of still-connected clients are rolled back
-        first — exactly what a crashed server's recovery would decide,
-        since nothing uncommitted ever reached the WAL.
+        Open cursors are closed and open transactions of
+        still-connected clients are rolled back first — exactly what a
+        crashed server's recovery would decide, since nothing
+        uncommitted ever reached the WAL.
 
         Idempotent: a second shutdown is a no-op, and later frames get
         a ``ConnectionClosedError`` error frame rather than an
@@ -91,12 +266,13 @@ class DBServer:
         """
         if not self.started:
             return
-        for connection_id in sorted(self._sessions):
-            self.database.abort_session(self._sessions[connection_id])
+        for connection_id in sorted(self._states):
+            state = self._states[connection_id]
+            state.close_cursors()
+            self.database.abort_session(state.session)
         self.database.close()
         self.started = False
-        self._connections.clear()
-        self._sessions.clear()
+        self._states.clear()
 
     # -- frame handling ----------------------------------------------------------
 
@@ -112,18 +288,27 @@ class DBServer:
         derives from BaseException precisely so that no server-side
         handler can survive it.)
         """
+        request: dict[str, Any] | None = None
         try:
             request = protocol.decode_frame(request_text)
         except ProtocolError as exc:
-            return protocol.encode_frame(
-                protocol.error_frame("ProtocolError", str(exc)))
-        try:
-            response = self.handle(request)
-        except Exception as exc:  # the wall: no raw exception on the wire
-            response = protocol.error_frame(
-                type(exc).__name__, str(exc),
-                transient=_frame_transient(exc))
-        return protocol.encode_frame(response)
+            response = protocol.error_frame("ProtocolError", str(exc))
+        else:
+            try:
+                response = self.handle(request)
+            except Exception as exc:  # the wall: no raw exception on the wire
+                response = protocol.error_frame(
+                    type(exc).__name__, str(exc),
+                    transient=_frame_transient(exc))
+        response_text = protocol.encode_frame(response)
+        self.bytes_in += len(request_text)
+        self.bytes_out += len(response_text)
+        if request is not None:
+            state = self._states.get(request.get("connection_id"))
+            if state is not None:
+                state.bytes_in += len(request_text)
+                state.bytes_out += len(response_text)
+        return response_text
 
     def handle_wire_many(self, request_texts: list[str]) -> list[str]:
         """Handle a batch of encoded frames under one group-commit
@@ -139,11 +324,29 @@ class DBServer:
             return protocol.error_frame(
                 "ConnectionClosedError", "server is shut down")
         kind = request.get("frame")
+        self.frames_served += 1
+        state = self._states.get(request.get("connection_id"))
+        if state is not None:
+            state.frames_served += 1
         try:
             if kind == "connect":
                 return self._handle_connect(request)
             if kind == "query":
                 return self._handle_query(request)
+            if kind == "prepare":
+                return self._handle_prepare(request)
+            if kind == "bind-execute":
+                return self._handle_bind_execute(request)
+            if kind == "deallocate":
+                return self._handle_deallocate(request)
+            if kind == "fetch":
+                return self._handle_fetch(request)
+            if kind == "close-cursor":
+                return self._handle_close_cursor(request)
+            if kind == "pipeline":
+                return self._handle_pipeline(request)
+            if kind == "stats":
+                return self._handle_stats(request)
             if kind == "close":
                 return self._handle_close(request)
         except DatabaseError as exc:
@@ -161,59 +364,322 @@ class DBServer:
                            request: dict[str, Any]) -> None:
         """Stamp a response with the connection's transaction state so
         clients track BEGIN/COMMIT/conflict-abort without guessing."""
-        session = self._sessions.get(request.get("connection_id"))
-        if session is not None:
-            frame["txn"] = "open" if session.in_transaction else "idle"
+        state = self._states.get(request.get("connection_id"))
+        if state is not None:
+            frame["txn"] = ("open" if state.session.in_transaction
+                            else "idle")
 
     def _handle_connect(self, request: dict[str, Any]) -> dict[str, Any]:
         connection_id = self._next_connection_id
         self._next_connection_id += 1
-        self._connections[connection_id] = str(
-            request.get("process_id", "unknown"))
-        self._sessions[connection_id] = self.database.create_session(
-            f"conn-{connection_id}")
-        return protocol.connected_frame(connection_id)
+        client_version = request.get("version", 1)
+        if not isinstance(client_version, int) or client_version < 1:
+            raise ProtocolError(
+                f"bad protocol version {client_version!r}")
+        negotiated = min(protocol.PROTOCOL_VERSION, client_version)
+        self._states[connection_id] = _ConnectionState(
+            str(request.get("process_id", "unknown")),
+            self.database.create_session(f"conn-{connection_id}"),
+            negotiated)
+        return protocol.connected_frame(connection_id, negotiated)
 
-    def _require_connection(self, request: dict[str, Any]) -> int:
+    def _require_state(self, request: dict[str, Any]) -> _ConnectionState:
         connection_id = request.get("connection_id")
-        if connection_id not in self._connections:
+        state = self._states.get(connection_id)
+        if state is None:
             raise ProtocolError(f"unknown connection {connection_id!r}")
-        return connection_id
+        return state
 
-    def _handle_query(self, request: dict[str, Any]) -> dict[str, Any]:
-        connection_id = self._require_connection(request)
-        sql = request.get("sql")
-        if not isinstance(sql, str):
-            raise ProtocolError("query frame is missing its sql text")
-        session = self._sessions[connection_id]
+    @staticmethod
+    def _require_version(state: _ConnectionState, kind: str) -> None:
+        if state.protocol_version < 2:
+            raise ProtocolError(
+                f"{kind} frames require protocol version 2, but this "
+                f"connection negotiated version "
+                f"{state.protocol_version}")
+
+    def _timed_execute(self, state: _ConnectionState,
+                       run: Callable[[], Any]) -> tuple[Any, float]:
+        """Run one statement under the session and (when configured)
+        the cooperative statement deadline. Returns (result, elapsed);
+        the post-execution check is kept as a backstop for statements
+        that finish between deadline checks."""
+        database = self.database
         started = self.timer()
-        with self.database.use_session(session):
-            result = self.database.execute(
-                sql, provenance=bool(request.get("provenance")))
+        with database.use_session(state.session):
+            if self.statement_timeout is not None:
+                with database.statement_deadline(
+                        started + self.statement_timeout, self.timer,
+                        self.statement_timeout):
+                    result = run()
+            else:
+                result = run()
         elapsed = self.timer() - started
         if (self.statement_timeout is not None
                 and elapsed > self.statement_timeout):
             raise StatementTimeout(
                 f"statement exceeded the {self.statement_timeout}s "
                 f"budget (took {elapsed:.6f}s)")
+        return result, elapsed
+
+    def _maybe_revalidate(self, result) -> None:
+        """Sweep the result cache after statements that may have moved
+        a commit watermark (or the catalog version)."""
+        if (result.written or result.deleted
+                or result.kind in ("txn", "create", "drop", "copy")):
+            self.result_cache.revalidate(self.database.mvcc,
+                                         self.database.catalog.version)
+
+    def _finish_result(self, state: _ConnectionState,
+                       request: dict[str, Any], result,
+                       elapsed: float,
+                       cache_key: tuple | None) -> dict[str, Any]:
+        """Shared epilogue of query and bind-execute: cache bookkeeping,
+        EXPLAIN ANALYZE server stats, wire encoding, txn stamping."""
+        self._maybe_revalidate(result)
+        state.reap_cursors()
         if "analyze" in result.stats:
             # EXPLAIN ANALYZE results also report the server-side wall
-            # time, so clients can see wire overhead vs execution time
-            result.stats["server"] = {"seconds": elapsed}
+            # time plus cache health, so clients can see wire overhead
+            # vs execution time and whether the fast paths engage
+            result.stats["server"] = {
+                "seconds": elapsed,
+                "result_cache": self.result_cache.counters(),
+                "plan_cache": self.database.plan_cache.counters(),
+            }
         frame = protocol.result_to_wire(result)
+        if (cache_key is not None and result.cacheable
+                and state.session.txn is None):
+            # store a private copy: the outgoing frame gets a txn stamp
+            self.result_cache.store(
+                cache_key, dict(frame), result.source_tables,
+                self.database.mvcc, self.database.catalog.version)
         self._attach_txn_status(frame, request)
         return frame
 
+    def _handle_query(self, request: dict[str, Any]) -> dict[str, Any]:
+        state = self._require_state(request)
+        sql = request.get("sql")
+        if not isinstance(sql, str):
+            raise ProtocolError("query frame is missing its sql text")
+        provenance = bool(request.get("provenance"))
+        fetch = request.get("fetch")
+        if fetch is not None:
+            self._require_version(state, "streamed query")
+            return self._open_cursor(state, request, sql, (), fetch,
+                                     provenance)
+        cache_key = None
+        if _looks_like_select(sql):
+            cache_key = ResultCache.key(sql, (), provenance)
+            cached = self.result_cache.lookup(
+                cache_key, self.database.mvcc,
+                self.database.catalog.version, state.session)
+            if cached is not None:
+                frame = dict(cached)
+                self._attach_txn_status(frame, request)
+                return frame
+        result, elapsed = self._timed_execute(
+            state, lambda: self.database.execute(
+                sql, provenance=provenance))
+        return self._finish_result(state, request, result, elapsed,
+                                   cache_key)
+
+    # -- prepared statements -----------------------------------------------------
+
+    def _handle_prepare(self, request: dict[str, Any]) -> dict[str, Any]:
+        state = self._require_state(request)
+        self._require_version(state, "prepare")
+        name = request.get("name")
+        sql = request.get("sql")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("prepare frame needs a statement name")
+        if not isinstance(sql, str):
+            raise ProtocolError("prepare frame is missing its sql text")
+        prepared = self.database.prepare(sql)
+        state.prepared[name] = prepared
+        frame = protocol.prepared_frame(name, prepared.param_count)
+        self._attach_txn_status(frame, request)
+        return frame
+
+    def _handle_bind_execute(self,
+                             request: dict[str, Any]) -> dict[str, Any]:
+        state = self._require_state(request)
+        self._require_version(state, "bind-execute")
+        name = request.get("name")
+        prepared = state.prepared.get(name)
+        if prepared is None:
+            raise ProtocolError(f"unknown prepared statement {name!r}")
+        params = tuple(request.get("params") or ())
+        provenance = bool(request.get("provenance"))
+        fetch = request.get("fetch")
+        if fetch is not None:
+            return self._open_cursor(state, request, prepared, params,
+                                     fetch, provenance)
+        cache_key = None
+        if prepared.cacheable:
+            # the template was normalized once at prepare time
+            cache_key = (prepared.normalized_sql, params,
+                         bool(provenance))
+            cached = self.result_cache.lookup(
+                cache_key, self.database.mvcc,
+                self.database.catalog.version, state.session)
+            if cached is not None:
+                frame = dict(cached)
+                self._attach_txn_status(frame, request)
+                return frame
+        result, elapsed = self._timed_execute(
+            state, lambda: self.database.execute_prepared(
+                prepared, params, provenance=provenance,
+                session=state.session))
+        return self._finish_result(state, request, result, elapsed,
+                                   cache_key)
+
+    def _handle_deallocate(self,
+                           request: dict[str, Any]) -> dict[str, Any]:
+        state = self._require_state(request)
+        self._require_version(state, "deallocate")
+        name = request.get("name")
+        state.prepared.pop(name, None)  # idempotent, like close-cursor
+        frame = protocol.deallocated_frame(name)
+        self._attach_txn_status(frame, request)
+        return frame
+
+    # -- streamed result sets ----------------------------------------------------
+
+    def _open_cursor(self, state: _ConnectionState,
+                     request: dict[str, Any],
+                     source, params: tuple, fetch: Any,
+                     provenance: bool) -> dict[str, Any]:
+        if not isinstance(fetch, int) or isinstance(fetch, bool) or fetch < 1:
+            raise ProtocolError("fetch size must be a positive integer")
+        database = self.database
+        with database.use_session(state.session):
+            cursor = database.open_cursor(source, params,
+                                          session=state.session,
+                                          provenance=provenance)
+            rows, lineages = cursor.fetch(fetch)
+        cursor_id = state.next_cursor_id
+        state.next_cursor_id += 1
+        if cursor.done:
+            cursor.close()
+        else:
+            state.cursors[cursor_id] = cursor
+        frame = protocol.cursor_frame(cursor_id, cursor.schema, rows,
+                                      lineages, cursor.done,
+                                      cursor.source_tables)
+        self._attach_txn_status(frame, request)
+        return frame
+
+    def _handle_fetch(self, request: dict[str, Any]) -> dict[str, Any]:
+        state = self._require_state(request)
+        self._require_version(state, "fetch")
+        cursor_id = request.get("cursor_id")
+        cursor = state.cursors.get(cursor_id)
+        if cursor is None:
+            raise ProtocolError(f"unknown cursor {cursor_id!r}")
+        max_rows = request.get("max_rows")
+        if (not isinstance(max_rows, int) or isinstance(max_rows, bool)
+                or max_rows < 1):
+            raise ProtocolError("max_rows must be a positive integer")
+        try:
+            with self.database.use_session(state.session):
+                rows, lineages = cursor.fetch(max_rows)
+        except DatabaseError:
+            state.cursors.pop(cursor_id, None)  # reap the dead cursor
+            raise
+        if cursor.done:
+            state.cursors.pop(cursor_id, None)
+        frame = protocol.chunk_frame(cursor_id, rows, lineages,
+                                     cursor.done)
+        self._attach_txn_status(frame, request)
+        return frame
+
+    def _handle_close_cursor(self,
+                             request: dict[str, Any]) -> dict[str, Any]:
+        state = self._require_state(request)
+        self._require_version(state, "close-cursor")
+        cursor_id = request.get("cursor_id")
+        cursor = state.cursors.pop(cursor_id, None)
+        if cursor is not None:
+            cursor.close()
+        # idempotent: the server reaps cursors on exhaustion and txn
+        # end, so a close for an already-gone cursor is not an error
+        frame = protocol.cursor_closed_frame(cursor_id)
+        self._attach_txn_status(frame, request)
+        return frame
+
+    # -- pipelining --------------------------------------------------------------
+
+    def _handle_pipeline(self, request: dict[str, Any]) -> dict[str, Any]:
+        state = self._require_state(request)
+        self._require_version(state, "pipeline")
+        frames = request.get("frames")
+        if not isinstance(frames, list):
+            raise ProtocolError("pipeline frame carries no frames list")
+        connection_id = request.get("connection_id")
+        responses: list[dict[str, Any]] = []
+        with self.database.group_commit():
+            for inner in frames:
+                if not isinstance(inner, dict):
+                    responses.append(protocol.error_frame(
+                        "ProtocolError", "pipeline items must be frames"))
+                    continue
+                if inner.get("frame") == "pipeline":
+                    responses.append(protocol.error_frame(
+                        "ProtocolError", "pipeline frames cannot nest"))
+                    continue
+                inner = dict(inner)
+                inner.setdefault("connection_id", connection_id)
+                # handle() isolates each inner frame's failure as its
+                # own error frame (with txn status); later frames in
+                # the batch still execute
+                responses.append(self.handle(inner))
+        return protocol.pipeline_result_frame(responses)
+
+    # -- observability -----------------------------------------------------------
+
+    def _handle_stats(self, request: dict[str, Any]) -> dict[str, Any]:
+        state = self._require_state(request)
+        self._require_version(state, "stats")
+        return {
+            "frame": "stats-result",
+            "server": self.server_counters(),
+            "connection": {
+                "connection_id": request.get("connection_id"),
+                "protocol_version": state.protocol_version,
+                "frames_served": state.frames_served,
+                "bytes_in": state.bytes_in,
+                "bytes_out": state.bytes_out,
+                "open_cursors": len(state.cursors),
+                "prepared_statements": len(state.prepared),
+            },
+        }
+
+    def server_counters(self) -> dict[str, Any]:
+        return {
+            "frames_served": self.frames_served,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "open_connections": len(self._states),
+            "open_cursors": sum(len(state.cursors)
+                                for state in self._states.values()),
+            "prepared_statements": sum(len(state.prepared)
+                                       for state in self._states.values()),
+            "result_cache": self.result_cache.counters(),
+            "plan_cache": self.database.plan_cache.counters(),
+        }
+
+    # -- teardown ----------------------------------------------------------------
+
     def _handle_close(self, request: dict[str, Any]) -> dict[str, Any]:
-        connection_id = self._require_connection(request)
-        del self._connections[connection_id]
-        session = self._sessions.pop(connection_id, None)
-        if session is not None:
-            # a vanished client must not pin its snapshot (or leave a
-            # half-done transaction ambiguous): roll it back
-            self.database.abort_session(session)
+        state = self._require_state(request)
+        del self._states[request.get("connection_id")]
+        state.close_cursors()
+        # a vanished client must not pin its snapshot (or leave a
+        # half-done transaction ambiguous): roll it back
+        self.database.abort_session(state.session)
         return protocol.closed_frame()
 
     @property
     def open_connections(self) -> int:
-        return len(self._connections)
+        return len(self._states)

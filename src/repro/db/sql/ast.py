@@ -31,6 +31,13 @@ class Literal(Expression):
 
 
 @dataclass(frozen=True)
+class Parameter(Expression):
+    """A positional statement parameter (``$1``, ``$2``, ...), 1-based."""
+
+    index: int
+
+
+@dataclass(frozen=True)
 class ColumnRef(Expression):
     """A possibly qualified column reference (``t.col`` or ``col``)."""
 

@@ -22,6 +22,7 @@ class TokenKind(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCT = "punct"
+    PARAM = "param"
     EOF = "eof"
 
 
@@ -92,6 +93,14 @@ def tokenize(sql: str) -> list[Token]:
                 tokens.append(Token(TokenKind.KEYWORD, lowered, start))
             else:
                 tokens.append(Token(TokenKind.IDENTIFIER, word, start))
+            continue
+        # positional parameter ($1, $2, ...)
+        if ch == "$" and i + 1 < n and sql[i + 1].isdigit():
+            start = i
+            i += 1
+            while i < n and sql[i].isdigit():
+                i += 1
+            tokens.append(Token(TokenKind.PARAM, sql[start + 1:i], start))
             continue
         # quoted identifier
         if ch == '"':

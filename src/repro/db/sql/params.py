@@ -1,0 +1,118 @@
+"""Positional statement parameters (``$1``, ``$2``, ...).
+
+Prepared statements carry parameter placeholders through the parser as
+:class:`repro.db.sql.ast.Parameter` nodes. This module provides the
+three operations the engine and wire layer need:
+
+* :func:`max_parameter_index` — how many values a statement expects;
+* :func:`bind_statement` — substitute literal values into the AST
+  (used for non-cacheable statements and DML, where the bound
+  statement runs through the ordinary execution path);
+* :func:`bind_sql_text` — substitute rendered literals into the raw
+  SQL *text*, producing the canonical statement the monitor records,
+  so a prepared execution replays byte-identically to the equivalent
+  text-protocol execution.
+
+All AST nodes are frozen dataclasses, so substitution is a generic
+structural rewrite that shares unchanged subtrees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+from repro.db.sql import ast
+from repro.db.sql.lexer import TokenKind, tokenize
+from repro.db.sql.render import render_literal
+from repro.errors import ExecutionError
+
+
+def _rewrite_value(value: Any, fn) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _rewrite_node(value, fn)
+    if isinstance(value, tuple):
+        items = tuple(_rewrite_value(item, fn) for item in value)
+        if any(new is not old for new, old in zip(items, value)):
+            return items
+        return value
+    if isinstance(value, list):
+        items = [_rewrite_value(item, fn) for item in value]
+        if any(new is not old for new, old in zip(items, value)):
+            return items
+        return value
+    return value
+
+
+def _rewrite_node(node: Any, fn) -> Any:
+    changes = {}
+    for field in dataclasses.fields(node):
+        old = getattr(node, field.name)
+        new = _rewrite_value(old, fn)
+        if new is not old:
+            changes[field.name] = new
+    if changes:
+        node = dataclasses.replace(node, **changes)
+    if isinstance(node, ast.Expression):
+        return fn(node)
+    return node
+
+
+def _visit_value(value: Any, fn) -> None:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fn(value)
+        for field in dataclasses.fields(value):
+            _visit_value(getattr(value, field.name), fn)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _visit_value(item, fn)
+
+
+def max_parameter_index(statement: Any) -> int:
+    """Highest ``$n`` index referenced anywhere in the statement (0 if
+    the statement takes no parameters)."""
+    highest = 0
+
+    def note(node: Any) -> None:
+        nonlocal highest
+        if isinstance(node, ast.Parameter):
+            highest = max(highest, node.index)
+
+    _visit_value(statement, note)
+    return highest
+
+
+def bind_statement(statement: Any, values: Sequence[Any]) -> Any:
+    """Return a copy of ``statement`` with every :class:`ast.Parameter`
+    replaced by the matching literal value (1-based indexing)."""
+
+    def substitute(node: ast.Expression) -> ast.Expression:
+        if isinstance(node, ast.Parameter):
+            if node.index > len(values):
+                raise ExecutionError(
+                    f"statement references ${node.index} but only "
+                    f"{len(values)} parameter value(s) were bound")
+            return ast.Literal(values[node.index - 1])
+        return node
+
+    return _rewrite_node(statement, substitute)
+
+
+def bind_sql_text(sql: str, values: Sequence[Any]) -> str:
+    """Substitute rendered literal values for ``$n`` placeholders in raw
+    SQL text. The lexer drives the scan, so placeholders inside string
+    literals, comments, and quoted identifiers are left untouched."""
+    replacements = []
+    for token in tokenize(sql):
+        if token.kind is TokenKind.PARAM:
+            index = int(token.text)
+            if index < 1 or index > len(values):
+                raise ExecutionError(
+                    f"statement references ${index} but only "
+                    f"{len(values)} parameter value(s) were bound")
+            end = token.position + 1 + len(token.text)
+            replacements.append(
+                (token.position, end, render_literal(values[index - 1])))
+    for start, end, text in reversed(replacements):
+        sql = sql[:start] + text + sql[end:]
+    return sql

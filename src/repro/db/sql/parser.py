@@ -561,6 +561,14 @@ class _Parser:
         if token.kind is TokenKind.STRING:
             self.advance()
             return ast.Literal(token.text)
+        if token.kind is TokenKind.PARAM:
+            self.advance()
+            index = int(token.text)
+            if index < 1:
+                raise SQLSyntaxError(
+                    f"parameter ${index} is out of range (parameters "
+                    f"are numbered from $1)", token.position)
+            return ast.Parameter(index)
         if token.is_keyword("null"):
             self.advance()
             return ast.Literal(None)

@@ -60,6 +60,8 @@ def render_expression(expression: ast.Expression) -> str:
     """Render an expression AST to SQL text."""
     if isinstance(expression, ast.Literal):
         return render_literal(expression.value)
+    if isinstance(expression, ast.Parameter):
+        return f"${expression.index}"
     if isinstance(expression, ast.ColumnRef):
         return expression.display()
     if isinstance(expression, ast.Star):

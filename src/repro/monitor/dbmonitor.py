@@ -87,22 +87,34 @@ class RelevantTupleStore:
 
 @dataclass
 class ReplayLogEntry:
-    """One recorded statement with its full wire result."""
+    """One recorded statement with its full wire result.
+
+    ``kind`` records the wire path the statement took ("text",
+    "prepared", or "stream"). Prepared and streamed executions are
+    recorded under their canonical bound SQL text, so replay matching
+    is path-agnostic; the kind is observability metadata. It is
+    serialized only when it differs from "text", keeping logs recorded
+    by older monitors — and logs of plain text traffic — byte-identical.
+    """
 
     index: int
     sql: str
     provenance: bool
     result_frame: dict[str, Any]
+    kind: str = "text"
 
     def to_json(self) -> dict[str, Any]:
-        return {"index": self.index, "sql": self.sql,
+        data = {"index": self.index, "sql": self.sql,
                 "provenance": self.provenance,
                 "result": self.result_frame}
+        if self.kind != "text":
+            data["kind"] = self.kind
+        return data
 
     @classmethod
     def from_json(cls, data: dict[str, Any]) -> "ReplayLogEntry":
         return cls(data["index"], data["sql"], data["provenance"],
-                   data["result"])
+                   data["result"], data.get("kind", "text"))
 
 
 class ReplayLog:
@@ -112,9 +124,10 @@ class ReplayLog:
         self.entries: list[ReplayLogEntry] = []
 
     def append(self, sql: str, provenance: bool,
-               result: StatementResult) -> ReplayLogEntry:
+               result: StatementResult,
+               kind: str = "text") -> ReplayLogEntry:
         entry = ReplayLogEntry(len(self.entries), sql, provenance,
-                               protocol.result_to_wire(result))
+                               protocol.result_to_wire(result), kind)
         self.entries.append(entry)
         return entry
 
@@ -262,7 +275,9 @@ class _MonitorInterceptor(Interceptor):
         if statement is not None:
             self._note_copy_input(statement)
         if self.monitor.mode == MODE_RECORD:
-            self.monitor.replay_log.append(sql, provenance, result)
+            self.monitor.replay_log.append(
+                sql, provenance, result,
+                kind=getattr(client, "last_execution_path", "text"))
             if statement is not None:
                 self._record_statement_node(statement, sql, result)
             return

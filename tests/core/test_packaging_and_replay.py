@@ -311,3 +311,82 @@ class TestNormalizeSql:
 
     def test_case_preserved(self):
         assert normalize_sql("select A") == "select A"
+
+
+def serving_app(ctx):
+    """Exercises every serving path: prepared statements, pipelining,
+    and a streamed result set."""
+    client = ctx.connect_db("main")
+    lookup = client.prepare("SELECT price FROM sales WHERE id = $1")
+    west = lookup.query([2])
+    with client.pipeline() as batch:
+        batch.execute("INSERT INTO sales VALUES (101, 7.5, 'south')")
+        total = batch.execute_prepared(
+            client.prepare("SELECT sum(price) FROM sales WHERE "
+                           "price > $1"), [5])
+    streamed = client.execute_stream("SELECT id FROM sales",
+                                     fetch_size=2).fetch_all()
+    ctx.write_file(
+        "/data/serving.txt",
+        f"{west[0][0]}|{total.rows()[0][0]}|{len(streamed)}\n")
+    lookup.deallocate()
+    client.close()
+    return 0
+
+
+class TestServingPathsReplay:
+    """Prepared, pipelined, and streamed traffic records under its
+    canonical bound SQL and replays byte-identically server-excluded."""
+
+    @pytest.fixture
+    def serving_world(self, memory_world):
+        world = memory_world
+        world.vos.register_program("/bin/app", serving_app)
+        world.registry = {"/bin/app": serving_app}
+        return world
+
+    def test_outputs_reproduced_without_server(self, serving_world,
+                                               tmp_path):
+        world = serving_world
+        audit_excluded(world, tmp_path / "pkg")
+        original = world.vos.fs.read_file("/data/serving.txt")
+        result = ldv_exec(tmp_path / "pkg", world.registry)
+        assert result.outputs["/data/serving.txt"] == original
+        # 4 statements: prepared select, 2 pipelined, 1 streamed
+        assert result.replayed_statements == 4
+
+    def test_source_database_untouched_by_replay(self, serving_world,
+                                                 tmp_path):
+        world = serving_world
+        audit_excluded(world, tmp_path / "pkg")
+        before = world.database.query("SELECT count(*) FROM sales")
+        ldv_exec(tmp_path / "pkg", world.registry)
+        assert world.database.query(
+            "SELECT count(*) FROM sales") == before
+
+    def test_log_records_bound_sql_and_kind(self, serving_world,
+                                            tmp_path):
+        import json as json_module
+        world = serving_world
+        audit_excluded(world, tmp_path / "pkg")
+        log_path = tmp_path / "pkg" / "replay" / "log.jsonl"
+        entries = [json_module.loads(line)
+                   for line in log_path.read_text().splitlines()]
+        kinds = [entry.get("kind", "text") for entry in entries]
+        assert kinds == ["prepared", "text", "prepared", "stream"]
+        # prepared statements record the canonical bound text —
+        # no $n placeholders survive into the log
+        assert entries[0]["sql"] == \
+            "SELECT price FROM sales WHERE id = 2"
+        assert "$" not in entries[2]["sql"]
+
+    def test_server_included_replay_of_serving_app(self, tmp_path):
+        from tests.core.conftest import World
+        world = World(data_dir=tmp_path / "pgdata")
+        world.vos.register_program("/bin/app", serving_app)
+        world.registry = {"/bin/app": serving_app}
+        audit_included(world, tmp_path / "pkg")
+        original = world.vos.fs.read_file("/data/serving.txt")
+        result = ldv_exec(tmp_path / "pkg", world.registry,
+                          scratch_dir=tmp_path / "scratch")
+        assert result.outputs["/data/serving.txt"] == original
