@@ -145,8 +145,12 @@ class Package:
         import gzip
         import json as json_module
 
+        # mtime=0 keeps the gzip header free of wall-clock time —
+        # packages of identical traces must be byte-identical no
+        # matter when they were written (the replica-of-record
+        # invariant the chaos harness checks)
         payload = gzip.compress(json_module.dumps(
-            trace_json, separators=(",", ":")).encode())
+            trace_json, separators=(",", ":")).encode(), mtime=0)
         path = self.root / TRACE_NAME
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(payload)

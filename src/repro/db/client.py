@@ -11,6 +11,7 @@ replay works (Section VIII).
 
 from __future__ import annotations
 
+import random
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -38,9 +39,18 @@ class RetryPolicy:
     A round trip is retried when the transport raises
     :class:`repro.errors.TransientError` or the server answers with an
     error frame flagged ``transient`` — both guarantee the statement
-    had no durable effect, so a resend is safe. The ``sleep`` hook is
-    injectable so tests can assert the backoff sequence without
-    actually waiting.
+    either had no durable effect or is idempotency-token-deduped, so a
+    resend is safe. The ``sleep`` hook is injectable so tests can
+    assert the backoff sequence without actually waiting.
+
+    ``jitter`` spreads concurrent retriers apart: each delay is scaled
+    by a factor drawn uniformly from ``[1 - jitter, 1 + jitter]`` using
+    the injectable ``rng`` (seed it for deterministic tests). The
+    default of 0 keeps the classic deterministic exponential sequence.
+    Servers shedding load attach a ``retry_after`` hint to their error
+    frames; it acts as a floor under the computed delay, so a client
+    never hammers a server faster than the server asked to be left
+    alone.
     """
 
     max_attempts: int = 4
@@ -48,11 +58,26 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay: float = 0.5
     sleep: Callable[[float], None] = field(default=time.sleep)
+    jitter: float = 0.0
+    rng: Optional[random.Random] = None
 
-    def delay_for(self, attempt: int) -> float:
+    def delay_for(self, attempt: int,
+                  retry_after: float | None = None) -> float:
         """The pause before retry number ``attempt + 1`` (0-based)."""
-        return min(self.base_delay * self.multiplier ** attempt,
-                   self.max_delay)
+        delay = min(self.base_delay * self.multiplier ** attempt,
+                    self.max_delay)
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        if self.jitter and self.rng is not None:
+            delay *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        return delay
+
+    def backoff(self, attempt: int,
+                retry_after: float | None = None) -> float:
+        """Compute the delay for ``attempt``, sleep it, return it."""
+        delay = self.delay_for(attempt, retry_after)
+        self.sleep(delay)
+        return delay
 
 
 class Interceptor:
@@ -79,6 +104,22 @@ class Interceptor:
         """Called when the connection closes."""
 
 
+_READONLY_KEYWORDS = frozenset({"select", "explain"})
+
+
+def _statement_mutates(sql: str) -> bool:
+    """Heuristic: does this statement need an idempotency token?
+
+    Anything whose leading keyword is not a pure read (SELECT /
+    EXPLAIN) may change server state when re-executed — DML, DDL,
+    COPY, and the transaction-control verbs all qualify. Stamping a
+    read would be harmless but wasteful (its result would be recorded
+    in the dedupe ledger for nothing).
+    """
+    head = sql.lstrip().split(None, 1)
+    return bool(head) and head[0].lower() not in _READONLY_KEYWORDS
+
+
 def _error_from_frame(frame: dict[str, Any]) -> Exception:
     """Build the local exception matching a server-side error frame."""
     error_type = frame.get("error_type", "DatabaseError")
@@ -88,7 +129,12 @@ def _error_from_frame(frame: dict[str, Any]) -> Exception:
             isinstance(exception_class, type)
             and issubclass(exception_class, Exception)):
         exception_class = DatabaseError
-    return exception_class(message)
+    exc = exception_class(message)
+    # overload / drain responses carry the server's advisory backoff
+    # hint; surface it so run_transaction's retry loop can honor it
+    if frame.get("retry_after") is not None:
+        exc.retry_after = float(frame["retry_after"])
+    return exc
 
 
 def _raise_from_error_frame(frame: dict[str, Any]) -> None:
@@ -114,8 +160,10 @@ class Prepared:
         self.closed = False
 
     def execute(self, params: list | tuple = (),
-                provenance: bool = False) -> StatementResult:
-        return self.client._execute_prepared(self, params, provenance)
+                provenance: bool = False,
+                token: str | None = None) -> StatementResult:
+        return self.client._execute_prepared(self, params, provenance,
+                                             token=token)
 
     def query(self, params: list | tuple = ()) -> list[tuple]:
         return self.execute(params).rows
@@ -170,6 +218,10 @@ class ResultCursor:
         self.closed = False
         self._remote = remote
         self._done = done
+        # rows received over the wire so far; sent as the ``position``
+        # of every fetch so the server can detect (and replay) a chunk
+        # whose response frame was lost in transit
+        self._received = len(rows) if remote else 0
         self._pending: list[tuple] = list(rows)
         self._pending_lineages: list = list(lineages)
         self._rows: list[tuple] = []
@@ -200,7 +252,8 @@ class ResultCursor:
                 self._finish()
                 return []
             response = self.client._round_trip(protocol.fetch_frame(
-                self.client.connection_id, self.cursor_id, limit))
+                self.client.connection_id, self.cursor_id, limit,
+                position=self._received))
             if response.get("frame") == "error":
                 _raise_from_error_frame(response)
             if response.get("frame") != "chunk":
@@ -209,6 +262,7 @@ class ResultCursor:
             self._pending = [tuple(row) for row in response["rows"]]
             self._pending_lineages = list(response["lineages"])
             self._done = bool(response["done"])
+            self._received += len(self._pending)
             self._absorb()
         chunk = self._pending[:limit]
         del self._pending[:limit]
@@ -317,7 +371,8 @@ class Pipeline:
             tuple[dict, PipelineHandle, str, bool, str]] = []
 
     def execute(self, sql: str,
-                provenance: bool = False) -> PipelineHandle:
+                provenance: bool = False,
+                token: str | None = None) -> PipelineHandle:
         handle = PipelineHandle(sql)
         substituted = self.client._substitute(sql, provenance, "text")
         if substituted is not None:
@@ -325,13 +380,16 @@ class Pipeline:
             handle._settle(substituted, None)
             return handle
         frame = protocol.query_frame(self.client.connection_id, sql,
-                                     provenance)
+                                     provenance,
+                                     token=self.client._token_for(
+                                         sql, token))
         self._queued.append((frame, handle, sql, provenance, "text"))
         return handle
 
     def execute_prepared(self, prepared: Prepared,
                          params: list | tuple = (),
-                         provenance: bool = False) -> PipelineHandle:
+                         provenance: bool = False,
+                         token: str | None = None) -> PipelineHandle:
         bound_sql = (prepared.bound_sql(params)
                      if self.client.interceptors else prepared.sql)
         handle = PipelineHandle(bound_sql)
@@ -343,7 +401,8 @@ class Pipeline:
             return handle
         frame = protocol.bind_execute_frame(
             self.client.connection_id, prepared.name, list(params),
-            provenance)
+            provenance,
+            token=self.client._token_for(prepared.sql, token))
         self._queued.append((frame, handle, bound_sql, provenance,
                              "prepared"))
         return handle
@@ -352,11 +411,24 @@ class Pipeline:
         return len(self._queued)
 
     def flush(self) -> None:
-        """Ship the queued frames in one exchange and settle every
-        handle; a no-op when nothing is queued."""
+        """Ship the queued frames and settle every handle; a no-op
+        when nothing is queued.
+
+        Normally everything goes in one ``pipeline`` envelope. When
+        the server advertised a ``max_pipeline_depth`` limit at
+        connect time, the queue is chunked into envelopes of at most
+        that many frames, so a deep batch degrades to several round
+        trips instead of being bounced with an overload error."""
         if not self._queued:
             return
         queued, self._queued = self._queued, []
+        depth = self.client.server_limits.get("max_pipeline_depth")
+        size = int(depth) if depth else len(queued)
+        for start in range(0, len(queued), size):
+            self._flush_batch(queued[start:start + size])
+
+    def _flush_batch(self, queued: list[
+            tuple[dict, PipelineHandle, str, bool, str]]) -> None:
         envelope = protocol.pipeline_frame(
             self.client.connection_id,
             [frame for frame, _, _, _, _ in queued])
@@ -395,11 +467,17 @@ class DBClient:
 
     def __init__(self, transport: Transport, client_name: str = "client",
                  process_id: str = "0",
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 idempotency_tokens: bool = True) -> None:
         self.transport = transport
         self.client_name = client_name
         self.process_id = process_id
         self.retry_policy = retry_policy
+        # stamp mutating statements with session-unique tokens so a
+        # frame-level retry after a lost response is deduped by the
+        # server instead of applied twice; off only for tests that
+        # want to demonstrate the double-apply failure mode
+        self.idempotency_tokens = idempotency_tokens
         self.connection_id: Optional[int] = None
         self.interceptors: list[Interceptor] = []
         self.statements_sent = 0
@@ -414,7 +492,13 @@ class DBClient:
         # "prepared", or "stream") — the monitor records it so replay
         # can tell the paths apart
         self.last_execution_path = "text"
+        # caps the server advertised at connect time (empty dict for
+        # servers without limits or pre-resilience recordings)
+        self.server_limits: dict[str, Any] = {}
         self._prepared_seq = 0
+        # monotonic across reconnects — a token must never be reused
+        # for a *different* statement within this client's lifetime
+        self._token_seq = 0
 
     # -- interposition -----------------------------------------------------------
 
@@ -441,6 +525,7 @@ class DBClient:
         self.connection_id = int(response["connection_id"])
         # a version-1 server's connected frame lacks the field
         self.protocol_version = int(response.get("version", 1))
+        self.server_limits = dict(response.get("limits") or {})
         for interceptor in self.interceptors:
             interceptor.on_connect(self)
 
@@ -465,18 +550,23 @@ class DBClient:
 
     # -- statement execution ----------------------------------------------------------
 
-    def execute(self, sql: str, provenance: bool = False) -> StatementResult:
+    def execute(self, sql: str, provenance: bool = False,
+                token: str | None = None) -> StatementResult:
         """Send one statement and return its result.
 
         Interceptors run in registration order; the first one that
         substitutes a result wins and the server is never contacted.
+        Mutating statements are stamped with an idempotency ``token``
+        (auto-generated unless given) so wire-level retries are
+        exactly-once.
         """
         if not self.connected:
             raise ConnectionClosedError("client is not connected")
         result = self._substitute(sql, provenance, "text")
         if result is None:
             response = self._round_trip(
-                protocol.query_frame(self.connection_id, sql, provenance))
+                protocol.query_frame(self.connection_id, sql, provenance,
+                                     token=self._token_for(sql, token)))
             if response.get("frame") == "error":
                 _raise_from_error_frame(response)
             result = protocol.result_from_wire(response)
@@ -486,6 +576,26 @@ class DBClient:
     def query(self, sql: str) -> list[tuple]:
         """Shorthand: run a SELECT and return its rows."""
         return self.execute(sql).rows
+
+    # -- idempotency tokens ---------------------------------------------------------
+
+    def _token_for(self, sql: str,
+                   explicit: str | None) -> Optional[str]:
+        """The idempotency token to stamp on a statement frame.
+
+        An explicit token always wins (the chaos harness pins tokens
+        so an oracle re-run replays the same dedupe decisions). Reads
+        are never stamped; mutating statements get a fresh
+        client-unique token per *logical* execution — frame-level
+        resends reuse the same encoded frame, so they carry the same
+        token, which is the whole point.
+        """
+        if explicit is not None:
+            return explicit
+        if not self.idempotency_tokens or not _statement_mutates(sql):
+            return None
+        self._token_seq += 1
+        return f"{self.client_name}/{self.process_id}#{self._token_seq}"
 
     # -- prepared statements (protocol v2) ----------------------------------------------
 
@@ -507,7 +617,8 @@ class DBClient:
 
     def _execute_prepared(self, prepared: Prepared,
                           params: list | tuple,
-                          provenance: bool) -> StatementResult:
+                          provenance: bool,
+                          token: str | None = None) -> StatementResult:
         if not self.connected:
             raise ConnectionClosedError("client is not connected")
         if prepared.closed:
@@ -523,7 +634,8 @@ class DBClient:
         if result is None:
             response = self._round_trip(protocol.bind_execute_frame(
                 self.connection_id, prepared.name, list(params),
-                provenance))
+                provenance,
+                token=self._token_for(prepared.sql, token)))
             result = protocol.result_from_wire(response)
         self._after_execute(bound_sql, provenance, result)
         return result
@@ -539,16 +651,26 @@ class DBClient:
     def execute_stream(self, source: "str | Prepared",
                        params: list | tuple = (),
                        fetch_size: int = 256,
-                       provenance: bool = False) -> ResultCursor:
+                       provenance: bool = False,
+                       token: str | None = None) -> ResultCursor:
         """Run a SELECT and stream its rows in bounded chunks.
 
         Returns a :class:`ResultCursor` whose first chunk rode along
         with the opening response; further chunks are pulled on demand.
         The server pins the cursor to the statement's snapshot, so the
         stream is immune to concurrent commits.
+
+        The open is stamped with an idempotency token (auto-generated
+        unless passed explicitly): if the opening response frame is
+        lost, the retried open replays the original cursor instead of
+        leaking a second one on the server.
         """
         if not self.connected:
             raise ConnectionClosedError("client is not connected")
+        if token is None and self.idempotency_tokens:
+            self._token_seq += 1
+            token = (f"{self.client_name}/{self.process_id}"
+                     f"#{self._token_seq}")
         if isinstance(source, Prepared):
             if source.closed:
                 raise ProtocolError(
@@ -557,11 +679,12 @@ class DBClient:
                    else source.sql)
             frame = protocol.bind_execute_frame(
                 self.connection_id, source.name, list(params),
-                provenance, fetch=fetch_size)
+                provenance, fetch=fetch_size, token=token)
         else:
             sql = bind_sql_text(source, params) if params else source
             frame = protocol.query_frame(self.connection_id, sql,
-                                         provenance, fetch=fetch_size)
+                                         provenance, fetch=fetch_size,
+                                         token=token)
         substituted = self._substitute(sql, provenance, "stream")
         if substituted is not None:
             # server-excluded replay: chunk the substituted result
@@ -689,7 +812,7 @@ class DBClient:
                 value = body(self)
                 self.commit()
                 return value
-            except TransientError:  # includes WriteConflictError
+            except TransientError as exc:  # includes WriteConflictError
                 if self.in_transaction:
                     # non-conflict transient failure mid-transaction:
                     # reset server-side state before starting over
@@ -701,8 +824,8 @@ class DBClient:
                 if attempt >= attempts:
                     raise
                 if self.retry_policy is not None:
-                    self.retry_policy.sleep(
-                        self.retry_policy.delay_for(attempt - 1))
+                    self.retry_policy.backoff(
+                        attempt - 1, getattr(exc, "retry_after", None))
                 self.transactions_retried += 1
 
     def explain_analyze(self, sql: str) -> StatementResult:
@@ -731,7 +854,15 @@ class DBClient:
 
     def _send_with_retry(self, request_text: str) -> dict[str, Any]:
         """One logical send: transient failures are retried with
-        backoff until the policy is exhausted, then surfaced."""
+        backoff until the policy is exhausted, then surfaced.
+
+        The *same* encoded request text is resent on every attempt —
+        so a mutating statement's idempotency token is stable across
+        retries and the server's dedupe ledger can recognise the
+        resend. Transient error frames may carry a ``retry_after``
+        hint (overload sheds, drain rejections); it floors the backoff
+        delay.
+        """
         attempt = 0
         while True:
             try:
@@ -743,17 +874,19 @@ class DBClient:
                 attempt += 1
                 continue
             if (protocol.is_transient_error(response)
-                    and self._backoff(attempt)):
+                    and self._backoff(attempt,
+                                      response.get("retry_after"))):
                 attempt += 1
                 continue
             return response
 
-    def _backoff(self, attempt: int) -> bool:
+    def _backoff(self, attempt: int,
+                 retry_after: float | None = None) -> bool:
         """Sleep before retry ``attempt + 1``; False when out of
         attempts (or no policy is configured)."""
         policy = self.retry_policy
         if policy is None or attempt + 1 >= policy.max_attempts:
             return False
-        policy.sleep(policy.delay_for(attempt))
+        policy.backoff(attempt, retry_after)
         self.retries_performed += 1
         return True

@@ -86,6 +86,7 @@ from repro.errors import (
     CatalogError,
     DatabaseError,
     ExecutionError,
+    GroupCommitError,
     IntegrityError,
     SQLSyntaxError,
     StatementTimeout,
@@ -200,6 +201,66 @@ class PlanCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+
+class IdempotencyLedger:
+    """Dedupe ledger for token-stamped statements (exactly-once retry).
+
+    Clients stamp mutating statements with a globally-unique token; the
+    first execution records its wire-shaped result here under that
+    token, and any retry of the same token returns the recorded result
+    instead of re-executing. Entries for autocommit work ride the same
+    WAL batch as the statement's writes (``{"op": "ledger", ...}``), so
+    after a crash the recovered ledger agrees exactly with the
+    recovered data: a write that survived answers its retry from the
+    ledger, a write that was lost re-executes. Checkpoints persist the
+    durable entries in the directory meta, since a checkpoint resets
+    the WAL they were logged in.
+
+    Bounded LRU: retries arrive within a client's retry window, so a
+    few hundred entries of memory covers them; eviction of ancient
+    tokens only risks re-executing a retry delayed past ``capacity``
+    newer writes, which no real retry policy produces.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.stores = 0
+
+    def get(self, token: str) -> Optional[dict[str, Any]]:
+        entry = self._entries.get(token)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def record(self, token: str, payload: dict[str, Any],
+               commit: bool = False, durable: bool = False) -> None:
+        self._entries[token] = {
+            "result": payload, "commit": commit, "durable": durable}
+        self._entries.move_to_end(token)
+        self.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def dump(self) -> list[list[Any]]:
+        """Durable entries in insertion order (checkpoint meta form)."""
+        return [[token, entry["result"], entry["commit"]]
+                for token, entry in self._entries.items()
+                if entry["durable"]]
+
+    def load(self, dumped: Iterable[Iterable[Any]]) -> None:
+        for token, payload, commit in dumped:
+            self.record(str(token), payload, commit=bool(commit),
+                        durable=True)
+
+    def counters(self) -> dict[str, int]:
+        return {"hits": self.hits, "stores": self.stores,
+                "size": len(self._entries)}
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass
@@ -390,9 +451,20 @@ class Database:
         self._touched_tables: set[str] = set()
         self._dropped_tables: set[str] = set()
         self.last_recovery: Optional[WALRecovery] = None
+        # exactly-once retry support: results of token-stamped
+        # statements, recoverable alongside the writes they describe
+        self.dedupe_ledger = IdempotencyLedger()
+        # poisoned after an aborted group commit: the in-memory heap
+        # has applied writes the truncated WAL no longer promises, so
+        # this instance must not serve statements or checkpoint —
+        # reopen the data directory to recover
+        self.failed = False
         if directory is not None:
             self.wal = WriteAheadLog(directory.wal_path, io=self.io)
             self.last_recovery = self.wal.open()
+            # checkpointed ledger entries predate the WAL's records;
+            # load them first so replayed entries win on collision
+            self.dedupe_ledger.load(directory.load_meta().get("ledger", []))
             self._replay_recovered(self.last_recovery)
             self._restore_clock(directory, self.last_recovery)
             # recovery may have replayed DDL; plans cached before it
@@ -445,6 +517,10 @@ class Database:
             if self.catalog.has_index(record["name"]):
                 self.catalog.table_of_index(record["name"]).drop_index(
                     record["name"])
+        elif operation == "ledger":
+            self.dedupe_ledger.record(
+                record["token"], record["result"],
+                commit=bool(record.get("commit", False)), durable=True)
         else:
             raise WALCorruptionError(
                 f"unknown WAL operation {operation!r}")
@@ -568,7 +644,14 @@ class Database:
         try:
             yield
         finally:
-            self.wal.end_group()
+            try:
+                self.wal.end_group()
+            except GroupCommitError:
+                # the group's heap writes were already applied but the
+                # truncated WAL no longer promises them: this instance
+                # is no longer trustworthy, reopen from disk to recover
+                self.failed = True
+                raise
 
     @property
     def commit_count(self) -> int:
@@ -616,14 +699,25 @@ class Database:
     # -- public API --------------------------------------------------------------
 
     def execute(self, sql: str, provenance: bool = False,
-                session: Session | None = None) -> StatementResult:
+                session: Session | None = None,
+                token: str | None = None) -> StatementResult:
         """Execute exactly one SQL statement.
 
         Repeated SELECT texts hit the plan cache and skip parse+plan
         entirely; see :class:`PlanCache` for the keying rules. With no
         explicit ``session`` the default (embedded) session is used.
+
+        A ``token`` marks the statement for exactly-once retry: if this
+        token already executed, the recorded result is returned without
+        re-executing (see :class:`IdempotencyLedger`). Tokens are for
+        mutating statements; plan-cached SELECTs ignore them.
         """
         session = session if session is not None else self.session
+        self._ensure_usable()
+        if token is not None:
+            replayed = self._ledger_replay(token, session)
+            if replayed is not None:
+                return replayed
         key = (PlanCache.normalize(sql), bool(provenance),
                self.catalog.version)
         planned = self.plan_cache.get(key)
@@ -645,7 +739,8 @@ class Database:
                 result = self._run_planned_select(planned)
             result.cacheable = True
             return result
-        return self.execute_statement(statement, provenance, session)
+        return self.execute_statement(statement, provenance, session,
+                                      token=token)
 
     # -- prepared statements and cursors ----------------------------------------
 
@@ -687,7 +782,8 @@ class Database:
     def execute_prepared(self, prepared: PreparedStatement,
                          params: Iterable[Any] = (),
                          provenance: bool = False,
-                         session: Session | None = None) -> StatementResult:
+                         session: Session | None = None,
+                         token: str | None = None) -> StatementResult:
         """Bind ``params`` to a prepared statement and execute it.
 
         Cacheable SELECT templates skip parse *and* plan: the cached
@@ -698,6 +794,11 @@ class Database:
         skipping the per-call parse.
         """
         session = session if session is not None else self.session
+        self._ensure_usable()
+        if token is not None:
+            replayed = self._ledger_replay(token, session)
+            if replayed is not None:
+                return replayed
         params = tuple(params)
         self._check_param_count(prepared, params)
         if prepared.cacheable:
@@ -708,7 +809,8 @@ class Database:
             return result
         statement = (bind_statement(prepared.statement, params)
                      if prepared.param_count else prepared.statement)
-        return self.execute_statement(statement, provenance, session)
+        return self.execute_statement(statement, provenance, session,
+                                      token=token)
 
     def open_cursor(self, source: "str | PreparedStatement",
                     params: Iterable[Any] = (),
@@ -722,6 +824,7 @@ class Database:
         rows. Non-SELECT statements are rejected.
         """
         session = session if session is not None else self.session
+        self._ensure_usable()
         prepared = (source if isinstance(source, PreparedStatement)
                     else self.prepare(source))
         params = tuple(params)
@@ -773,8 +876,14 @@ class Database:
 
     def execute_statement(self, statement: ast.Statement,
                           provenance: bool = False,
-                          session: Session | None = None) -> StatementResult:
+                          session: Session | None = None,
+                          token: str | None = None) -> StatementResult:
         session = session if session is not None else self.session
+        self._ensure_usable()
+        if token is not None:
+            replayed = self._ledger_replay(token, session)
+            if replayed is not None:
+                return replayed
         with self._read_view(session):
             extra_lineage: frozenset = EMPTY_LINEAGE
             if isinstance(statement, (ast.Select, ast.SetOp, ast.Update,
@@ -807,11 +916,61 @@ class Database:
                 result.written_lineage = {
                     ref: deps | extra_lineage
                     for ref, deps in result.written_lineage.items()}
+        if token is not None:
+            # record before the batch commits so the ledger entry is
+            # atomic with the writes it deduplicates
+            self._ledger_record(token, statement, result, session)
         if session.txn is None:
             # autocommit (or the COMMIT statement itself): make the
             # batch durable before any table file is rewritten
             self._commit_wal_batch()
         return result
+
+    # -- exactly-once retry ledger -------------------------------------------------
+
+    def _ensure_usable(self) -> None:
+        if self.failed:
+            raise GroupCommitError(
+                "database instance failed after an aborted group "
+                "commit; reopen the data directory to recover")
+
+    def _ledger_replay(self, token: str,
+                       session: Session) -> Optional[StatementResult]:
+        """The recorded result of an already-executed token, or None.
+
+        A ledger hit consumes no clock tick and touches no state —
+        except when the replayed token was a COMMIT and the retrying
+        client has (re)opened a transaction: that duplicate transaction
+        is rolled back, since the work it would redo already committed.
+        """
+        entry = self.dedupe_ledger.get(token)
+        if entry is None:
+            return None
+        if entry["commit"] and session.txn is not None:
+            self._abort_transaction(session)
+        from repro.db import protocol  # local import: protocol imports engine
+
+        result = protocol.result_from_wire(entry["result"])
+        result.stats = dict(result.stats)
+        result.stats["replayed_token"] = token
+        return result
+
+    def _ledger_record(self, token: str, statement: ast.Statement,
+                       result: StatementResult, session: Session) -> None:
+        from repro.db import protocol  # local import: protocol imports engine
+
+        payload = protocol.result_to_wire(result)
+        # the server annotates result.stats in place after execution;
+        # snapshot it so the recorded payload stays what was executed
+        payload["stats"] = dict(payload.get("stats") or {})
+        committing = isinstance(statement, ast.Commit)
+        durable = (session.txn is None and self.wal is not None
+                   and self._wal_dirty)
+        if durable:
+            self.wal.append({"op": "ledger", "token": token,
+                             "result": payload, "commit": committing})
+        self.dedupe_ledger.record(token, payload, commit=committing,
+                                  durable=durable)
 
     def _run_subquery(self, select: ast.Select, track_lineage: bool):
         result = self._execute_select(select, track_lineage)
@@ -872,19 +1031,34 @@ class Database:
         the not-yet-reset WAL simply replays (idempotently) on top of
         whichever table files made it.
         """
+        self._ensure_usable()
         if self.mvcc.has_active():
             raise TransactionError(
                 "cannot checkpoint during an open transaction")
         self.catalog.flush()
         directory = self.catalog.data_directory
         if directory is not None:
-            directory.save_meta({"clock": self.clock.now})
+            # the WAL reset below discards the logged ledger entries;
+            # persist them with the clock so recovery still dedupes
+            directory.save_meta({"clock": self.clock.now,
+                                 "ledger": self.dedupe_ledger.dump()})
         if self.wal is not None:
             self.wal.reset()
 
     def close(self) -> None:
-        """Checkpoint and release (no open handles are held otherwise)."""
+        """Checkpoint and release (no open handles are held otherwise).
+
+        A failed (poisoned) instance skips the checkpoint: its heap has
+        diverged from the log and must not overwrite the durable state.
+        """
+        if self.failed:
+            return
         self.checkpoint()
+
+    def vacuum(self) -> None:
+        """Force an MVCC history/commit-map prune (normally automatic
+        after each commit; exposed for leak checks and tests)."""
+        self._prune_mvcc()
 
     # -- SELECT --------------------------------------------------------------------
 

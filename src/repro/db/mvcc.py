@@ -175,6 +175,14 @@ class MVCCState:
     def active_count(self) -> int:
         return len(self._active)
 
+    def active_ids(self) -> list[int]:
+        """Transaction ids still holding snapshots, oldest first.
+
+        The chaos harness's leak checker uses this to name exactly
+        which transactions were left pinning MVCC history after every
+        connection was reaped."""
+        return sorted(self._active)
+
     def min_active_snapshot(self) -> Optional[int]:
         if not self._active:
             return None

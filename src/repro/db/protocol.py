@@ -10,25 +10,28 @@ bytes-on-the-wire view a real libpq interceptor would.
 Frame types::
 
     connect      {frame, client_name, process_id, version}
-    connected    {frame, connection_id, version}
-    query        {frame, connection_id, sql, provenance[, fetch]}
+    connected    {frame, connection_id, version[, limits]}
+    query        {frame, connection_id, sql, provenance[, fetch]
+                  [, token]}
     result       {frame, kind, columns, types, rows, lineages, rowcount,
                   written, written_lineage, deleted, source_tables,
                   stats, txn}
-    error        {frame, error_type, message, transient, txn}
+    error        {frame, error_type, message, transient, txn
+                  [, retry_after]}
     close        {frame, connection_id}
     closed       {frame}
 
     prepare      {frame, connection_id, name, sql}
     prepared     {frame, name, param_count}
     bind-execute {frame, connection_id, name, params, provenance
-                  [, fetch]}
+                  [, fetch][, token]}
     deallocate   {frame, connection_id, name}
     deallocated  {frame, name}
 
     cursor       {frame, cursor_id, columns, types, rows, lineages,
                   done, source_tables, txn}
-    fetch        {frame, connection_id, cursor_id, max_rows}
+    fetch        {frame, connection_id, cursor_id, max_rows
+                  [, position]}
     chunk        {frame, cursor_id, rows, lineages, done, txn}
     close-cursor {frame, connection_id, cursor_id}
     cursor-closed {frame, cursor_id}
@@ -60,6 +63,25 @@ guarantees the statement had no durable effect. Clients with a
 the failed transaction is gone, so the retry unit is the whole
 transaction (:meth:`repro.db.client.DBClient.run_transaction`), never
 the frame.
+
+Resilience fields (still protocol version 2 — every field is optional
+and ignored by older peers):
+
+* ``token`` on query / bind-execute stamps a mutating statement with a
+  globally-unique idempotency token. The engine's dedupe ledger makes
+  resending the same token exactly-once: a retry whose original
+  response frame was lost gets the recorded result back instead of
+  re-executing (see :class:`repro.db.engine.IdempotencyLedger`).
+* ``retry_after`` on error frames is the server's advisory backoff
+  hint in seconds (admission-control sheds, drain rejections); clients
+  fold it into their jittered retry delay.
+* ``limits`` on connected advertises server caps (currently
+  ``max_pipeline_depth`` and ``max_cursors``) so clients can chunk
+  pipelines instead of being bounced.
+* ``position`` on fetch is the count of rows the client has received
+  so far; the server retains each cursor's last-served chunk and
+  replays it when ``position`` shows the previous response was lost,
+  making streamed fetches exactly-once too.
 """
 
 from __future__ import annotations
@@ -149,18 +171,25 @@ def connect_frame(client_name: str, process_id: str) -> dict[str, Any]:
 
 
 def connected_frame(connection_id: int,
-                    version: int = PROTOCOL_VERSION) -> dict[str, Any]:
-    return {"frame": "connected", "connection_id": connection_id,
-            "version": version}
+                    version: int = PROTOCOL_VERSION,
+                    limits: dict[str, Any] | None = None) -> dict[str, Any]:
+    frame = {"frame": "connected", "connection_id": connection_id,
+             "version": version}
+    if limits:
+        frame["limits"] = dict(limits)
+    return frame
 
 
 def query_frame(connection_id: int, sql: str,
                 provenance: bool = False,
-                fetch: int | None = None) -> dict[str, Any]:
+                fetch: int | None = None,
+                token: str | None = None) -> dict[str, Any]:
     frame = {"frame": "query", "connection_id": connection_id,
              "sql": sql, "provenance": provenance}
     if fetch is not None:
         frame["fetch"] = fetch
+    if token is not None:
+        frame["token"] = token
     return frame
 
 
@@ -178,12 +207,15 @@ def prepared_frame(name: str, param_count: int) -> dict[str, Any]:
 def bind_execute_frame(connection_id: int, name: str,
                        params: list | tuple = (),
                        provenance: bool = False,
-                       fetch: int | None = None) -> dict[str, Any]:
+                       fetch: int | None = None,
+                       token: str | None = None) -> dict[str, Any]:
     frame = {"frame": "bind-execute", "connection_id": connection_id,
              "name": name, "params": list(params),
              "provenance": provenance}
     if fetch is not None:
         frame["fetch"] = fetch
+    if token is not None:
+        frame["token"] = token
     return frame
 
 
@@ -212,9 +244,13 @@ def cursor_frame(cursor_id: int, schema, rows: list, lineages: list,
 
 
 def fetch_frame(connection_id: int, cursor_id: int,
-                max_rows: int) -> dict[str, Any]:
-    return {"frame": "fetch", "connection_id": connection_id,
-            "cursor_id": cursor_id, "max_rows": max_rows}
+                max_rows: int,
+                position: int | None = None) -> dict[str, Any]:
+    frame = {"frame": "fetch", "connection_id": connection_id,
+             "cursor_id": cursor_id, "max_rows": max_rows}
+    if position is not None:
+        frame["position"] = position
+    return frame
 
 
 def chunk_frame(cursor_id: int, rows: list, lineages: list,
@@ -251,11 +287,14 @@ def stats_frame(connection_id: int) -> dict[str, Any]:
 
 
 def error_frame(error_type: str, message: str,
-                transient: bool = False) -> dict[str, Any]:
+                transient: bool = False,
+                retry_after: float | None = None) -> dict[str, Any]:
     frame = {"frame": "error", "error_type": error_type,
              "message": message}
     if transient:
         frame["transient"] = True
+    if retry_after is not None:
+        frame["retry_after"] = retry_after
     return frame
 
 

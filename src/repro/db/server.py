@@ -46,6 +46,8 @@ from repro.db.engine import Cursor, Database, PlanCache, PreparedStatement
 from repro.db.mvcc import MVCCState, Session
 from repro.errors import (
     DatabaseError,
+    GroupCommitError,
+    OverloadedError,
     ProtocolError,
     ReproError,
     StatementTimeout,
@@ -179,37 +181,132 @@ class ResultCache:
         return len(self._entries)
 
 
+class AdmissionControl:
+    """Token-bucket admission control: the server's bounded work queue.
+
+    Each work-bearing frame (query, bind-execute, fetch; pipeline
+    envelopes charge per inner frame) spends one token; the bucket
+    refills at ``refill_per_second`` up to ``capacity``. When the
+    bucket is dry the frame is *shed before any execution* — no
+    statement runs, no clock tick is consumed — with an
+    ``OverloadedError`` frame carrying a ``retry_after`` hint sized to
+    when the bucket will hold a token again. The timer is injectable
+    so tests and the chaos harness drive load deterministically.
+    """
+
+    def __init__(self, capacity: int, refill_per_second: float,
+                 timer: Callable[[], float] = time.monotonic) -> None:
+        if capacity < 1:
+            raise ProtocolError("admission capacity must be positive")
+        self.capacity = float(capacity)
+        self.refill_per_second = float(refill_per_second)
+        self.timer = timer
+        self.tokens = float(capacity)
+        self._last = timer()
+        self.admitted = 0
+        self.shed = 0
+
+    def try_admit(self, cost: float = 1.0) -> Optional[float]:
+        """None when admitted; otherwise the retry-after hint in
+        seconds until ``cost`` tokens will have refilled."""
+        now = self.timer()
+        if now > self._last and self.refill_per_second > 0:
+            self.tokens = min(self.capacity,
+                              self.tokens + (now - self._last)
+                              * self.refill_per_second)
+        self._last = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            self.admitted += 1
+            return None
+        self.shed += 1
+        if self.refill_per_second <= 0:
+            return 1.0
+        return max((cost - self.tokens) / self.refill_per_second, 0.001)
+
+    def counters(self) -> dict[str, Any]:
+        return {"admitted": self.admitted, "shed": self.shed,
+                "tokens": self.tokens, "capacity": self.capacity}
+
+
+class _CursorState:
+    """A server-side cursor plus exactly-once chunk-replay bookkeeping.
+
+    ``served`` counts rows handed to this connection (including the
+    opening chunk); ``last_frame`` retains the most recent chunk so a
+    fetch whose ``position`` shows the previous response never arrived
+    is answered by replaying that chunk instead of silently skipping
+    the rows the dropped frame carried.
+    """
+
+    __slots__ = ("cursor", "served", "last_start", "last_frame")
+
+    def __init__(self, cursor: Cursor, first_chunk_rows: int) -> None:
+        self.cursor = cursor
+        self.served = first_chunk_rows
+        self.last_start = 0
+        self.last_frame: Optional[dict] = None
+
+
 class _ConnectionState:
     """Everything the server tracks per wire connection."""
 
     __slots__ = ("process_id", "session", "protocol_version", "prepared",
-                 "cursors", "next_cursor_id", "frames_served", "bytes_in",
-                 "bytes_out")
+                 "cursors", "finished_chunks", "open_frames",
+                 "next_cursor_id", "frames_served", "bytes_in",
+                 "bytes_out", "last_active")
+
+    # final chunks / opening frames retained per connection for
+    # lost-response replay
+    FINISHED_RETAINED = 8
 
     def __init__(self, process_id: str, session: Session,
-                 protocol_version: int) -> None:
+                 protocol_version: int, last_active: float = 0.0) -> None:
         self.process_id = process_id
         self.session = session
         self.protocol_version = protocol_version
         self.prepared: dict[str, PreparedStatement] = {}
-        self.cursors: dict[int, Cursor] = {}
+        self.cursors: dict[int, _CursorState] = {}
+        # cursor_id -> {"start", "frame"}: the done-chunk of recently
+        # exhausted cursors, so a retried final fetch can be answered
+        self.finished_chunks: "OrderedDict[int, dict]" = OrderedDict()
+        # stream token -> retained opening cursor frame: a retried
+        # stream open (its response was lost before the client learned
+        # the cursor id) replays the original frame instead of opening
+        # a second cursor whose snapshot pin nobody would ever release
+        self.open_frames: "OrderedDict[str, dict]" = OrderedDict()
         self.next_cursor_id = 1
         self.frames_served = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        self.last_active = last_active
+
+    def retain_finished(self, cursor_id: int, start: int,
+                        frame: dict) -> None:
+        self.finished_chunks[cursor_id] = {"start": start,
+                                           "frame": frame}
+        while len(self.finished_chunks) > self.FINISHED_RETAINED:
+            self.finished_chunks.popitem(last=False)
+
+    def retain_open(self, token: str, frame: dict) -> None:
+        self.open_frames[token] = frame
+        while len(self.open_frames) > self.FINISHED_RETAINED:
+            self.open_frames.popitem(last=False)
 
     def reap_cursors(self) -> None:
         """Close cursors whose pinning transaction ended (commit or
         rollback tears down the snapshot they were reading)."""
-        dead = [cursor_id for cursor_id, cursor in self.cursors.items()
-                if cursor.defunct]
+        dead = [cursor_id for cursor_id, holder in self.cursors.items()
+                if holder.cursor.defunct]
         for cursor_id in dead:
-            self.cursors.pop(cursor_id).close()
+            self.cursors.pop(cursor_id).cursor.close()
 
     def close_cursors(self) -> None:
-        for cursor in self.cursors.values():
-            cursor.close()
+        for holder in self.cursors.values():
+            holder.cursor.close()
         self.cursors.clear()
+        self.finished_chunks.clear()
+        self.open_frames.clear()
 
 
 class DBServer:
@@ -230,7 +327,13 @@ class DBServer:
                  clock: LogicalClock | None = None,
                  statement_timeout: float | None = None,
                  timer: Callable[[], float] = time.monotonic,
-                 result_cache_size: int = 128) -> None:
+                 result_cache_size: int = 128,
+                 result_cache_max_rows: int | None = None,
+                 admission: AdmissionControl | None = None,
+                 max_pipeline_depth: int | None = None,
+                 max_cursors_per_connection: int | None = None,
+                 connection_timeout: float | None = None,
+                 retry_after_hint: float = 0.05) -> None:
         if database is not None and data_directory is not None:
             raise ProtocolError(
                 "pass either a Database or a data_directory, not both")
@@ -240,15 +343,33 @@ class DBServer:
         self.statement_timeout = statement_timeout
         self.timer = timer
         self.result_cache = ResultCache(result_cache_size)
+        # memory-pressure limit: results wider than this are served
+        # but never cached (one giant SELECT must not evict the cache)
+        self.result_cache_max_rows = result_cache_max_rows
+        self.admission = admission
+        self.max_pipeline_depth = max_pipeline_depth
+        self.max_cursors_per_connection = max_cursors_per_connection
+        # connections idle longer than this are reaped — their cursors
+        # closed and transactions rolled back — so a dead client can
+        # never pin MVCC history forever
+        self.connection_timeout = connection_timeout
+        self.retry_after_hint = retry_after_hint
         self._states: dict[int, _ConnectionState] = {}
         self._next_connection_id = 1
         self.started = True
+        self.draining = False
+        # True while dispatching a pipeline envelope's inner frames —
+        # they were admitted as one unit with the envelope
+        self._in_pipeline = False
         # server-wide observability counters (per-connection ones live
         # on the _ConnectionState); pipeline envelopes count both the
         # envelope and each inner frame
         self.frames_served = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        self.connections_reaped = 0
+        self.drain_rejections = 0
+        self.group_aborts = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -273,6 +394,55 @@ class DBServer:
         self.database.close()
         self.started = False
         self._states.clear()
+
+    def drain(self) -> None:
+        """Enter drain mode: finish in-flight work, reject new work.
+
+        Open transactions may still run statements and COMMIT, open
+        cursors may still be fetched and closed, connections may
+        disconnect — but new connections, new statements on idle
+        sessions, and new prepares are rejected with a retryable
+        ``ServerDrainingError`` frame carrying a retry-after hint.
+        Once :attr:`drained` is true, :meth:`shutdown` is a clean stop
+        with nothing to abort.
+        """
+        self.draining = True
+
+    def undrain(self) -> None:
+        """Cancel drain mode and accept new work again."""
+        self.draining = False
+
+    @property
+    def drained(self) -> bool:
+        """True when draining and no in-flight work remains."""
+        return self.draining and not any(
+            state.session.in_transaction or state.cursors
+            for state in self._states.values())
+
+    def disconnect(self, connection_id: int) -> bool:
+        """Forcibly tear down one connection (a dead client): close
+        its cursors and roll back its open transaction so it cannot
+        pin MVCC history or snapshots. Returns True if it existed."""
+        state = self._states.pop(connection_id, None)
+        if state is None:
+            return False
+        state.close_cursors()
+        self.database.abort_session(state.session)
+        self.connections_reaped += 1
+        return True
+
+    def reap_idle(self, now: float | None = None) -> list[int]:
+        """Disconnect every connection idle past ``connection_timeout``
+        (no-op when no timeout is configured). Returns the reaped ids."""
+        if self.connection_timeout is None:
+            return []
+        now = self.timer() if now is None else now
+        dead = [connection_id
+                for connection_id, state in self._states.items()
+                if now - state.last_active > self.connection_timeout]
+        for connection_id in dead:
+            self.disconnect(connection_id)
+        return dead
 
     # -- frame handling ----------------------------------------------------------
 
@@ -314,9 +484,21 @@ class DBServer:
         """Handle a batch of encoded frames under one group-commit
         window: each transaction still appends its own WAL batch, but
         they all share a single fsync at the end of the batch —
-        responses are only returned once that durable barrier holds."""
-        with self.database.group_commit():
-            return [self.handle_wire(text) for text in request_texts]
+        responses are only returned once that durable barrier holds.
+
+        If that shared fsync fails, the WAL aborts the *whole group*
+        (see :meth:`repro.db.wal.WriteAheadLog.end_group`): every
+        response in the batch — including ones already computed — is
+        replaced by a transient ``GroupCommitError`` frame, because no
+        acknowledgement in the batch is durably backed anymore."""
+        try:
+            with self.database.group_commit():
+                return [self.handle_wire(text) for text in request_texts]
+        except GroupCommitError as exc:
+            self.group_aborts += 1
+            error_text = protocol.encode_frame(protocol.error_frame(
+                "GroupCommitError", str(exc), transient=True))
+            return [error_text for _ in request_texts]
 
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
         """Handle one decoded frame, returning a decoded response."""
@@ -328,6 +510,49 @@ class DBServer:
         state = self._states.get(request.get("connection_id"))
         if state is not None:
             state.frames_served += 1
+        if self.connection_timeout is not None:
+            # idle tracking only consults the timer when reaping is
+            # configured — scripted test timers stay untouched
+            if state is not None:
+                state.last_active = self.timer()
+            # the requesting connection just refreshed last_active, so
+            # this sweep only ever reaps *other*, genuinely idle peers
+            self.reap_idle()
+        if self.database.failed:
+            frame = protocol.error_frame(
+                "GroupCommitError",
+                "the server's database failed after an aborted group "
+                "commit; retry once it has been restarted",
+                transient=True, retry_after=self.retry_after_hint)
+            return frame
+        if self.draining and self._drain_rejects(kind, state):
+            self.drain_rejections += 1
+            frame = protocol.error_frame(
+                "ServerDrainingError",
+                "server is draining; retry against another server or "
+                "after the drain completes",
+                transient=True, retry_after=self.retry_after_hint)
+            self._attach_txn_status(frame, request)
+            return frame
+        if (self.admission is not None and not self._in_pipeline
+                and kind in ("query", "bind-execute", "fetch",
+                             "pipeline")):
+            # a pipeline envelope is one admission unit, charged by its
+            # depth (inner frames are exempt — the shed must happen
+            # before anything executes, or a partially-executed batch
+            # would not be safely retryable as a whole)
+            cost = 1.0
+            if kind == "pipeline":
+                depth = len(request.get("frames") or ())
+                cost = float(min(max(depth, 1), int(self.admission.capacity)))
+            hint = self.admission.try_admit(cost)
+            if hint is not None:
+                frame = protocol.error_frame(
+                    "OverloadedError",
+                    f"server overloaded; retry in {hint:.3f}s",
+                    transient=True, retry_after=hint)
+                self._attach_txn_status(frame, request)
+                return frame
         try:
             if kind == "connect":
                 return self._handle_connect(request)
@@ -352,13 +577,28 @@ class DBServer:
         except DatabaseError as exc:
             frame = protocol.error_frame(
                 type(exc).__name__, str(exc),
-                transient=_frame_transient(exc))
+                transient=_frame_transient(exc),
+                retry_after=getattr(exc, "retry_after", None))
             self._attach_txn_status(frame, request)
             return frame
         except ReproError as exc:  # pragma: no cover - defensive
             return protocol.error_frame(type(exc).__name__, str(exc))
         return protocol.error_frame(
             "ProtocolError", f"unknown frame type {kind!r}")
+
+    @staticmethod
+    def _drain_rejects(kind: str,
+                       state: Optional[_ConnectionState]) -> bool:
+        """Which frames a draining server bounces: new connections and
+        prepares always; statements and pipelines unless the session
+        has an open transaction to finish. Fetch, close-cursor,
+        deallocate, stats, and close always pass — they only wind
+        down existing work."""
+        if kind in ("connect", "prepare"):
+            return True
+        if kind in ("query", "bind-execute", "pipeline"):
+            return state is None or not state.session.in_transaction
+        return False
 
     def _attach_txn_status(self, frame: dict[str, Any],
                            request: dict[str, Any]) -> None:
@@ -380,8 +620,16 @@ class DBServer:
         self._states[connection_id] = _ConnectionState(
             str(request.get("process_id", "unknown")),
             self.database.create_session(f"conn-{connection_id}"),
-            negotiated)
-        return protocol.connected_frame(connection_id, negotiated)
+            negotiated,
+            last_active=(self.timer()
+                         if self.connection_timeout is not None else 0.0))
+        limits: dict[str, Any] = {}
+        if self.max_pipeline_depth is not None:
+            limits["max_pipeline_depth"] = self.max_pipeline_depth
+        if self.max_cursors_per_connection is not None:
+            limits["max_cursors"] = self.max_cursors_per_connection
+        return protocol.connected_frame(connection_id, negotiated,
+                                        limits=limits or None)
 
     def _require_state(self, request: dict[str, Any]) -> _ConnectionState:
         connection_id = request.get("connection_id")
@@ -449,7 +697,9 @@ class DBServer:
             }
         frame = protocol.result_to_wire(result)
         if (cache_key is not None and result.cacheable
-                and state.session.txn is None):
+                and state.session.txn is None
+                and (self.result_cache_max_rows is None
+                     or len(result.rows) <= self.result_cache_max_rows)):
             # store a private copy: the outgoing frame gets a txn stamp
             self.result_cache.store(
                 cache_key, dict(frame), result.source_tables,
@@ -478,9 +728,13 @@ class DBServer:
                 frame = dict(cached)
                 self._attach_txn_status(frame, request)
                 return frame
+        token = request.get("token")
+        # token passed only when present, so tests that stub
+        # database.execute with a two-argument fake keep working
+        kwargs = ({"token": str(token)} if token is not None else {})
         result, elapsed = self._timed_execute(
             state, lambda: self.database.execute(
-                sql, provenance=provenance))
+                sql, provenance=provenance, **kwargs))
         return self._finish_result(state, request, result, elapsed,
                                    cache_key)
 
@@ -527,10 +781,12 @@ class DBServer:
                 frame = dict(cached)
                 self._attach_txn_status(frame, request)
                 return frame
+        token = request.get("token")
+        kwargs = ({"token": str(token)} if token is not None else {})
         result, elapsed = self._timed_execute(
             state, lambda: self.database.execute_prepared(
                 prepared, params, provenance=provenance,
-                session=state.session))
+                session=state.session, **kwargs))
         return self._finish_result(state, request, result, elapsed,
                                    cache_key)
 
@@ -552,6 +808,21 @@ class DBServer:
                      provenance: bool) -> dict[str, Any]:
         if not isinstance(fetch, int) or isinstance(fetch, bool) or fetch < 1:
             raise ProtocolError("fetch size must be a positive integer")
+        token = request.get("token")
+        if token is not None and str(token) in state.open_frames:
+            # a retried stream open whose cursor frame was lost: replay
+            # the original instead of opening (and leaking) a second
+            # cursor pinned to its own snapshot
+            frame = dict(state.open_frames[str(token)])
+            self._attach_txn_status(frame, request)
+            return frame
+        if (self.max_cursors_per_connection is not None
+                and len(state.cursors) >= self.max_cursors_per_connection):
+            raise OverloadedError(
+                f"connection already holds "
+                f"{len(state.cursors)} open cursor(s), the server cap; "
+                f"close one and retry",
+                retry_after=self.retry_after_hint)
         database = self.database
         with database.use_session(state.session):
             cursor = database.open_cursor(source, params,
@@ -563,10 +834,14 @@ class DBServer:
         if cursor.done:
             cursor.close()
         else:
-            state.cursors[cursor_id] = cursor
+            state.cursors[cursor_id] = _CursorState(cursor, len(rows))
         frame = protocol.cursor_frame(cursor_id, cursor.schema, rows,
                                       lineages, cursor.done,
                                       cursor.source_tables)
+        if token is not None:
+            # retain the pre-txn-status copy: txn state is re-derived
+            # per request when the frame is replayed
+            state.retain_open(str(token), dict(frame))
         self._attach_txn_status(frame, request)
         return frame
 
@@ -574,23 +849,50 @@ class DBServer:
         state = self._require_state(request)
         self._require_version(state, "fetch")
         cursor_id = request.get("cursor_id")
-        cursor = state.cursors.get(cursor_id)
-        if cursor is None:
+        position = request.get("position")
+        holder = state.cursors.get(cursor_id)
+        if holder is None:
+            # a retried final fetch whose done-chunk response was
+            # dropped: the cursor is gone but its last chunk is
+            # retained for exactly this replay
+            finished = state.finished_chunks.get(cursor_id)
+            if finished is not None and (position is None
+                                         or position == finished["start"]):
+                frame = dict(finished["frame"])
+                self._attach_txn_status(frame, request)
+                return frame
             raise ProtocolError(f"unknown cursor {cursor_id!r}")
         max_rows = request.get("max_rows")
         if (not isinstance(max_rows, int) or isinstance(max_rows, bool)
                 or max_rows < 1):
             raise ProtocolError("max_rows must be a positive integer")
+        if (position is not None and holder.last_frame is not None
+                and position == holder.last_start):
+            # the previous chunk's response never arrived: replay it
+            # instead of advancing (and silently skipping its rows)
+            frame = dict(holder.last_frame)
+            self._attach_txn_status(frame, request)
+            return frame
+        if position is not None and position != holder.served:
+            raise ProtocolError(
+                f"fetch position {position} does not match the "
+                f"{holder.served} row(s) served on cursor {cursor_id}")
+        cursor = holder.cursor
         try:
             with self.database.use_session(state.session):
                 rows, lineages = cursor.fetch(max_rows)
         except DatabaseError:
             state.cursors.pop(cursor_id, None)  # reap the dead cursor
             raise
-        if cursor.done:
-            state.cursors.pop(cursor_id, None)
+        holder.last_start = holder.served
+        holder.served += len(rows)
         frame = protocol.chunk_frame(cursor_id, rows, lineages,
                                      cursor.done)
+        holder.last_frame = dict(frame)
+        if cursor.done:
+            state.cursors.pop(cursor_id, None)
+            state.retain_finished(cursor_id, holder.last_start,
+                                  dict(frame))
         self._attach_txn_status(frame, request)
         return frame
 
@@ -599,9 +901,10 @@ class DBServer:
         state = self._require_state(request)
         self._require_version(state, "close-cursor")
         cursor_id = request.get("cursor_id")
-        cursor = state.cursors.pop(cursor_id, None)
-        if cursor is not None:
-            cursor.close()
+        holder = state.cursors.pop(cursor_id, None)
+        if holder is not None:
+            holder.cursor.close()
+        state.finished_chunks.pop(cursor_id, None)
         # idempotent: the server reaps cursors on exhaustion and txn
         # end, so a close for an already-gone cursor is not an error
         frame = protocol.cursor_closed_frame(cursor_id)
@@ -616,24 +919,47 @@ class DBServer:
         frames = request.get("frames")
         if not isinstance(frames, list):
             raise ProtocolError("pipeline frame carries no frames list")
+        if (self.max_pipeline_depth is not None
+                and len(frames) > self.max_pipeline_depth):
+            # in-flight cap: rejected before anything executes, so the
+            # client can split the batch and resend it all
+            raise OverloadedError(
+                f"pipeline depth {len(frames)} exceeds the server cap "
+                f"of {self.max_pipeline_depth}",
+                retry_after=self.retry_after_hint)
         connection_id = request.get("connection_id")
         responses: list[dict[str, Any]] = []
-        with self.database.group_commit():
-            for inner in frames:
-                if not isinstance(inner, dict):
-                    responses.append(protocol.error_frame(
-                        "ProtocolError", "pipeline items must be frames"))
-                    continue
-                if inner.get("frame") == "pipeline":
-                    responses.append(protocol.error_frame(
-                        "ProtocolError", "pipeline frames cannot nest"))
-                    continue
-                inner = dict(inner)
-                inner.setdefault("connection_id", connection_id)
-                # handle() isolates each inner frame's failure as its
-                # own error frame (with txn status); later frames in
-                # the batch still execute
-                responses.append(self.handle(inner))
+        self._in_pipeline = True
+        try:
+            with self.database.group_commit():
+                for inner in frames:
+                    if not isinstance(inner, dict):
+                        responses.append(protocol.error_frame(
+                            "ProtocolError",
+                            "pipeline items must be frames"))
+                        continue
+                    if inner.get("frame") == "pipeline":
+                        responses.append(protocol.error_frame(
+                            "ProtocolError",
+                            "pipeline frames cannot nest"))
+                        continue
+                    inner = dict(inner)
+                    inner.setdefault("connection_id", connection_id)
+                    # handle() isolates each inner frame's failure as
+                    # its own error frame (with txn status); later
+                    # frames in the batch still execute
+                    responses.append(self.handle(inner))
+        except GroupCommitError as exc:
+            # the shared fsync failed: every commit in this envelope
+            # was aborted together, so no already-computed response
+            # may be delivered — each would acknowledge work the WAL
+            # no longer promises
+            self.group_aborts += 1
+            error = protocol.error_frame("GroupCommitError", str(exc),
+                                         transient=True)
+            responses = [dict(error) for _ in frames]
+        finally:
+            self._in_pipeline = False
         return protocol.pipeline_result_frame(responses)
 
     # -- observability -----------------------------------------------------------
@@ -656,7 +982,7 @@ class DBServer:
         }
 
     def server_counters(self) -> dict[str, Any]:
-        return {
+        counters = {
             "frames_served": self.frames_served,
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
@@ -667,7 +993,15 @@ class DBServer:
                                        for state in self._states.values()),
             "result_cache": self.result_cache.counters(),
             "plan_cache": self.database.plan_cache.counters(),
+            "dedupe_ledger": self.database.dedupe_ledger.counters(),
+            "draining": self.draining,
+            "drain_rejections": self.drain_rejections,
+            "connections_reaped": self.connections_reaped,
+            "group_aborts": self.group_aborts,
         }
+        if self.admission is not None:
+            counters["admission"] = self.admission.counters()
+        return counters
 
     # -- teardown ----------------------------------------------------------------
 

@@ -24,6 +24,10 @@ later checkpoint, converges to the same state. Record operations::
     drop_table   {op, table}
     create_index {op, table, name, column}
     drop_index   {op, name}
+    ledger       {op, token, result, commit}
+                                 idempotency-ledger entry; rides in the
+                                 same batch as the statement's writes so
+                                 the dedupe decision is atomic with them
     commit       {op, tick}      batch terminator
     abort        {op}            batch discard (kept for format
                                  completeness; the buffering writer
@@ -50,7 +54,7 @@ from typing import Any, Iterator
 
 from repro.db.fileio import FileIO
 from repro.db.types import Column, Schema, SQLType
-from repro.errors import WALCorruptionError
+from repro.errors import GroupCommitError, TransientError, WALCorruptionError
 
 WAL_MAGIC = b"LDVWAL1\n"
 _FRAME = struct.Struct("<II")
@@ -128,8 +132,11 @@ class WriteAheadLog:
         self._buffered_records: list[dict] = []
         self._group_depth = 0
         self._group_pending = False
+        self._group_start = 0  # file size at the outermost begin_group
+        self._group_commits = 0
         self.commit_count = 0
         self.fsync_count = 0
+        self.group_aborts = 0
 
     # -- recovery ----------------------------------------------------------------
 
@@ -234,22 +241,55 @@ class WriteAheadLog:
         self.commit_count += 1
         if self._group_depth > 0:
             self._group_pending = True
+            self._group_commits += 1
         else:
             self._fsync()
 
     def begin_group(self) -> None:
         """Open (or nest into) a group-commit window."""
+        if self._group_depth == 0:
+            self._group_start = self.io.size(self.path)
+            self._group_commits = 0
         self._group_depth += 1
 
     def end_group(self) -> None:
         """Close a group-commit window; the outermost close issues the
-        single shared fsync covering every commit in the window."""
+        single shared fsync covering every commit in the window.
+
+        If that shared fsync fails, *every* transaction in the group is
+        aborted together: the log is truncated back to the group start
+        (so recovery cannot resurrect a batch whose durability was never
+        acknowledged to anyone) and :class:`GroupCommitError` is raised.
+        Earlier commits in the group were only ever acknowledged
+        provisionally — their durability barrier was this fsync — so
+        aborting the whole group keeps "acked" and "durable" aligned.
+        """
         if self._group_depth <= 0:
             return
         self._group_depth -= 1
         if self._group_depth == 0 and self._group_pending:
             self._group_pending = False
-            self._fsync()
+            try:
+                self._fsync()
+            except TransientError as exc:
+                aborted = self._group_commits
+                self.group_aborts += 1
+                try:
+                    self.io.truncate(self.path, self._group_start,
+                                     point="wal.group.truncate")
+                    self.io.fsync(self.path, point="wal.group.truncate.fsync")
+                except TransientError:
+                    # Best effort: if the truncate also fails, the
+                    # unsynced batches stay on disk and recovery may
+                    # resurrect them. That is still consistent — the
+                    # group was reported as failed (a promise of
+                    # nothing), and retried statements consult the
+                    # recovered idempotency ledger either way.
+                    pass
+                raise GroupCommitError(
+                    f"group-commit fsync failed; all {aborted} "
+                    f"transaction(s) in the group were aborted: "
+                    f"{exc}") from exc
 
     def _fsync(self) -> None:
         self.io.fsync(self.path, point="wal.fsync")

@@ -201,14 +201,27 @@ class FlakyTransport:
     ...                            FaultInjector(seed=7).fail_at(
     ...                                "wire.send", occurrence=1))
     ... # doctest: +SKIP
+
+    Faults on the request point (default ``"wire.send"``) fire *before*
+    the frame reaches the server — the statement never executes.
+    Faults on the response point (default ``"wire.recv"``) fire *after*
+    the server has already executed and answered — the acknowledgement
+    is dropped on the floor, which is the dangerous half: a naive
+    client retry re-executes work the server already applied. The
+    idempotency ledger exists for exactly this case.
     """
 
     def __init__(self, transport: Callable[[str], str],
-                 injector: FaultInjector, point: str = "wire.send") -> None:
+                 injector: FaultInjector, point: str = "wire.send",
+                 recv_point: str = "wire.recv") -> None:
         self.transport = transport
         self.injector = injector
         self.point = point
+        self.recv_point = recv_point
 
     def __call__(self, request_text: str) -> str:
         self.injector.reach_wire(self.point)
-        return self.transport(request_text)
+        response_text = self.transport(request_text)
+        # the server has answered; a fault here loses the response frame
+        self.injector.reach_wire(self.recv_point)
+        return response_text

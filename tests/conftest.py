@@ -6,3 +6,14 @@ def pytest_addoption(parser):
         "--seeds", type=int, default=None, metavar="N",
         help="number of random seeds for the differential SQL oracle "
              "(default: the suite's pinned seed count)")
+    parser.addoption(
+        "--chaos-campaigns", type=int, default=8, metavar="N",
+        help="number of seeded fault campaigns the chaos suite runs "
+             "(CI smoke uses 50; every failure message and test id "
+             "carries the seed)")
+
+
+def pytest_generate_tests(metafunc):
+    if "campaign_seed" in metafunc.fixturenames:
+        campaigns = metafunc.config.getoption("--chaos-campaigns")
+        metafunc.parametrize("campaign_seed", range(campaigns))

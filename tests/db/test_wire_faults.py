@@ -1,6 +1,7 @@
 """Wire-path robustness: error frames, timeouts, client retry/backoff."""
 
 import json
+import random
 
 import pytest
 
@@ -193,6 +194,59 @@ class TestClientRetry:
                              max_delay=0.5, sleep=lambda _: None)
         assert policy.delay_for(0) == pytest.approx(0.1)
         assert policy.delay_for(3) == pytest.approx(0.5)
+
+    def test_default_policy_has_no_jitter(self):
+        # the exact exponential sequence other tests assert on stays
+        # exact unless jitter is explicitly enabled
+        policy = RetryPolicy(base_delay=0.01, sleep=lambda _: None)
+        assert policy.delay_for(0) == pytest.approx(0.01)
+        assert policy.delay_for(1) == pytest.approx(0.02)
+
+    def test_seeded_jitter_is_deterministic(self):
+        def delays(seed):
+            policy = RetryPolicy(base_delay=0.1, jitter=0.25,
+                                 rng=random.Random(seed),
+                                 sleep=lambda _: None)
+            return [policy.delay_for(attempt) for attempt in range(6)]
+
+        assert delays(7) == delays(7)
+        assert delays(7) != delays(8)
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=1.0,
+                             jitter=0.25, rng=random.Random(1),
+                             sleep=lambda _: None)
+        for attempt in range(50):
+            assert 0.075 <= policy.delay_for(attempt) <= 0.125
+
+    def test_retry_after_hint_floors_the_delay(self):
+        policy = RetryPolicy(base_delay=0.01, sleep=lambda _: None)
+        assert policy.delay_for(0, retry_after=0.5) == pytest.approx(0.5)
+        # a hint smaller than the computed backoff changes nothing
+        assert policy.delay_for(5, retry_after=0.001) \
+            == pytest.approx(policy.delay_for(5))
+
+    def test_run_transaction_backs_off_with_jitter(self, server):
+        delays = []
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1,
+                             multiplier=1.0, jitter=0.25,
+                             rng=random.Random(3), sleep=delays.append)
+        client = make_client(server, retry_policy=policy)
+        attempts = {"count": 0}
+
+        def body(txn_client):
+            attempts["count"] += 1
+            if attempts["count"] < 3:
+                raise TransientError("synthetic conflict")
+            txn_client.execute("INSERT INTO t VALUES (2)")
+
+        client.run_transaction(body)
+        assert attempts["count"] == 3
+        assert client.transactions_retried == 2
+        assert len(delays) == 2
+        for delay in delays:
+            assert 0.075 <= delay <= 0.125
+        assert client.query("SELECT x FROM t ORDER BY x") == [(1,), (2,)]
 
     def test_seeded_wire_faults_reproduce(self, server):
         def run(seed):
