@@ -61,6 +61,7 @@ from repro.db.mvcc import (
 )
 from repro.db.planner import PlannedQuery, plan_select
 from repro.db.provtypes import EMPTY_LINEAGE, TupleRef
+from repro.db.stats import TableStats, compute_table_stats
 from repro.db.vector import BatchOperator
 from repro.db.sql import ast
 from repro.db.sql.params import bind_statement, max_parameter_index
@@ -126,10 +127,13 @@ class PlanCache:
     """LRU cache of planned SELECT operator trees.
 
     Keyed by ``(normalized SQL text, provenance flag, catalog
-    version)``. Including the catalog version makes every cached plan
-    built against an older schema unreachable the moment any DDL runs
-    — DDL handlers additionally :meth:`clear` the cache so stale
-    entries do not linger until LRU eviction.
+    version, stats version)``. Including the catalog version makes
+    every cached plan built against an older schema unreachable the
+    moment any DDL runs — DDL handlers additionally :meth:`clear` the
+    cache so stale entries do not linger until LRU eviction. The
+    stats version does the same for the cost model: ANALYZE bumps it,
+    so plans costed against superseded statistics are re-planned on
+    the next execution instead of being served forever.
 
     Only plain SELECT statements without subqueries are cacheable:
     subquery expansion inlines executed results into the AST, which
@@ -463,8 +467,12 @@ class Database:
             self.wal = WriteAheadLog(directory.wal_path, io=self.io)
             self.last_recovery = self.wal.open()
             # checkpointed ledger entries predate the WAL's records;
-            # load them first so replayed entries win on collision
-            self.dedupe_ledger.load(directory.load_meta().get("ledger", []))
+            # load them first so replayed entries win on collision —
+            # same for checkpointed ANALYZE statistics, which any
+            # replayed "analyze" record overrides
+            meta = directory.load_meta()
+            self.dedupe_ledger.load(meta.get("ledger", []))
+            self.catalog.load_stats(meta.get("stats", {}))
             self._replay_recovered(self.last_recovery)
             self._restore_clock(directory, self.last_recovery)
             # recovery may have replayed DDL; plans cached before it
@@ -517,6 +525,11 @@ class Database:
             if self.catalog.has_index(record["name"]):
                 self.catalog.table_of_index(record["name"]).drop_index(
                     record["name"])
+        elif operation == "analyze":
+            if self.catalog.has_table(record["table"]):
+                self.catalog.set_stats(
+                    record["table"],
+                    TableStats.from_dict(record["stats"]))
         elif operation == "ledger":
             self.dedupe_ledger.record(
                 record["token"], record["result"],
@@ -719,7 +732,7 @@ class Database:
             if replayed is not None:
                 return replayed
         key = (PlanCache.normalize(sql), bool(provenance),
-               self.catalog.version)
+               self.catalog.version, self.catalog.stats_version)
         planned = self.plan_cache.get(key)
         if planned is not None:
             with self._read_view(session):
@@ -733,10 +746,17 @@ class Database:
         statement = statements[0]
         if self._plan_cacheable(statement):
             track = provenance or statement.provenance
-            planned = plan_select(statement, self.catalog, track)
-            self.plan_cache.put(key, planned)
+            # plan inside the session's read view: cardinality
+            # estimates must see the transaction's own overlay (a bulk
+            # insert into one join side steers this plan's build side)
             with self._read_view(session):
+                planned = plan_select(statement, self.catalog, track)
                 result = self._run_planned_select(planned)
+            if session.txn is None:
+                # overlay-costed plans stay private to the planning
+                # statement; only snapshot-free plans enter the shared
+                # cache
+                self.plan_cache.put(key, planned)
             result.cacheable = True
             return result
         return self.execute_statement(statement, provenance, session,
@@ -766,17 +786,22 @@ class Database:
                 f"parameter(s), got {len(params)}")
 
     def _planned_for(self, prepared: PreparedStatement,
-                     provenance: bool) -> PlannedQuery:
+                     provenance: bool,
+                     session: Session | None = None) -> PlannedQuery:
         """The (cached) plan for a cacheable prepared statement. Keys
         match the text path, so ``prepare`` + ``execute`` share one
-        cache entry per template."""
+        cache entry per template. Plans costed under an open
+        transaction's overlay (``session`` given and in a transaction)
+        are used but not cached."""
         key = (prepared.normalized_sql or PlanCache.normalize(prepared.sql),
-               bool(provenance), self.catalog.version)
+               bool(provenance), self.catalog.version,
+               self.catalog.stats_version)
         planned = self.plan_cache.get(key)
         if planned is None:
             track = provenance or prepared.statement.provenance
             planned = plan_select(prepared.statement, self.catalog, track)
-            self.plan_cache.put(key, planned)
+            if session is None or session.txn is None:
+                self.plan_cache.put(key, planned)
         return planned
 
     def execute_prepared(self, prepared: PreparedStatement,
@@ -802,8 +827,9 @@ class Database:
         params = tuple(params)
         self._check_param_count(prepared, params)
         if prepared.cacheable:
-            planned = self._planned_for(prepared, provenance)
             with self._read_view(session), bound_parameters(params):
+                planned = self._planned_for(prepared, provenance,
+                                            session)
                 result = self._run_planned_select(planned)
             result.cacheable = True
             return result
@@ -991,11 +1017,14 @@ class Database:
         if isinstance(statement, ast.Delete):
             return self._execute_delete(statement, session)
         if isinstance(statement, (ast.CreateTable, ast.DropTable,
-                                  ast.CreateIndex, ast.DropIndex)):
+                                  ast.CreateIndex, ast.DropIndex,
+                                  ast.Analyze)):
             if session.txn is not None:
                 # schema changes are not versioned by the snapshot
                 # machinery; forcing them to autocommit keeps every
-                # open snapshot's view of the catalog coherent
+                # open snapshot's view of the catalog coherent (and
+                # ANALYZE, which scans the committed heap, follows the
+                # same rule)
                 raise TransactionError(
                     "DDL is not allowed inside a transaction; "
                     "COMMIT or ROLLBACK first")
@@ -1005,7 +1034,9 @@ class Database:
                 return self._execute_drop_table(statement)
             if isinstance(statement, ast.CreateIndex):
                 return self._execute_create_index(statement)
-            return self._execute_drop_index(statement)
+            if isinstance(statement, ast.DropIndex):
+                return self._execute_drop_index(statement)
+            return self._execute_analyze(statement)
         if isinstance(statement, ast.CopyFrom):
             return self._execute_copy_from(statement, session)
         if isinstance(statement, ast.CopyTo):
@@ -1038,10 +1069,12 @@ class Database:
         self.catalog.flush()
         directory = self.catalog.data_directory
         if directory is not None:
-            # the WAL reset below discards the logged ledger entries;
-            # persist them with the clock so recovery still dedupes
+            # the WAL reset below discards the logged ledger entries
+            # and "analyze" records; persist both with the clock so
+            # recovery still dedupes and the planner keeps its stats
             directory.save_meta({"clock": self.clock.now,
-                                 "ledger": self.dedupe_ledger.dump()})
+                                 "ledger": self.dedupe_ledger.dump(),
+                                 "stats": self.catalog.dump_stats()})
         if self.wal is not None:
             self.wal.reset()
 
@@ -1429,6 +1462,33 @@ class Database:
         self._touched_tables.add(table.name)
         self._log_ddl({"op": "drop_index", "name": drop.name.lower()})
         return StatementResult(kind="drop", source_tables=[table.name])
+
+    def _execute_analyze(self, analyze: ast.Analyze) -> StatementResult:
+        """Collect planner statistics for one table (or all of them).
+
+        Runs like DDL: autocommit only, scanning the committed heap.
+        The new statistics are WAL-logged (an ``"analyze"`` record per
+        table) so they survive a crash, and the stats-version bump
+        ages every cached plan out of the plan cache; the explicit
+        clear below just reclaims the memory immediately.
+        """
+        names = ([analyze.table.lower()] if analyze.table is not None
+                 else self.catalog.table_names())
+        summary: dict[str, Any] = {}
+        for name in names:
+            table = self.catalog.get_table(name)
+            table_stats = compute_table_stats(table)
+            self.catalog.set_stats(table.name, table_stats)
+            self._log_ddl({"op": "analyze", "table": table.name,
+                           "stats": table_stats.to_dict()})
+            summary[table.name] = {
+                "row_count": table_stats.row_count,
+                "columns": len(table_stats.columns),
+            }
+        self.plan_cache.clear()
+        return StatementResult(kind="analyze", rowcount=len(names),
+                               source_tables=list(names),
+                               stats={"analyzed": summary})
 
     def _execute_copy_from(self, copy: ast.CopyFrom,
                            session: Session) -> StatementResult:

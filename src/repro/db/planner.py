@@ -10,6 +10,17 @@ TPC-H workload tractable in a pure-Python executor:
 * star expansion and output-type inference,
 * hidden sort columns so ORDER BY can reference non-projected
   expressions.
+
+When ANALYZE statistics exist (:mod:`repro.db.stats`), planning
+becomes cost-based: filter selectivities scale each fragment's
+cardinality estimate, the greedy join order picks the connected
+candidate with the smallest estimated join output (instead of the
+first one), hash-join build sides follow the estimates, and indexable
+conjuncts only become probes when the estimated probe cost beats the
+scan. Cardinality estimates start from the *session-visible* row count
+(committed heap adjusted by the transaction's overlay), so a bulk
+insert inside an open transaction steers its own plans. Every choice
+is advisory: all plan shapes produce identical rows and lineage.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.db import expressions as exprs
+from repro.db import stats as statsmod
 from repro.db import vector
 from repro.db.catalog import Catalog
 from repro.db.executor import (
@@ -73,16 +85,28 @@ def explain_plan(root: Operator) -> list[str]:
 
     :class:`Instrumented` wrappers (EXPLAIN ANALYZE) are transparent:
     the wrapped operator is described, with its measured row count and
-    wall time appended as ``(rows=N time=T ms)``.
+    wall time appended as ``(rows=N time=T ms)``. Operators planned
+    under ANALYZE statistics additionally carry the planner's
+    cardinality estimate — ``(est=N)`` on plain EXPLAIN, and
+    ``(rows=N est=M time=T ms)`` under EXPLAIN ANALYZE so estimated
+    and actual rows sit side by side.
     """
     lines: list[str] = []
 
     def describe(operator: Operator) -> str:
-        suffix = ""
+        wrapper = None
         if isinstance(operator, Instrumented):
-            suffix = (f" (rows={operator.rows} "
-                      f"time={operator.total_seconds * 1000.0:.3f} ms)")
+            wrapper = operator
             operator = operator.inner
+        estimate = getattr(operator, "est_rows", None)
+        suffix = ""
+        if wrapper is not None:
+            estimated = (f" est={estimate:.0f}" if estimate is not None
+                         else "")
+            suffix = (f" (rows={wrapper.rows}{estimated} "
+                      f"time={wrapper.total_seconds * 1000.0:.3f} ms)")
+        elif estimate is not None:
+            suffix = f" (est={estimate:.0f})"
         return describe_bare(operator) + suffix
 
     def describe_bare(operator: Operator) -> str:
@@ -107,10 +131,12 @@ def explain_plan(root: Operator) -> list[str]:
                     render_expression(expression)
                     for expression in operator.value_expressions)
                 probe = f"{operator.index.column} IN ({rendered})"
-            return (f"IndexScan on {operator.table.name} using "
+            text = (f"IndexScan on {operator.table.name} using "
                     f"{operator.index.name} ({probe})")
+            return text + _cost_note_suffix(operator)
         if isinstance(operator, SeqScan):
-            return f"SeqScan on {operator.table.name}"
+            return (f"SeqScan on {operator.table.name}"
+                    + _cost_note_suffix(operator))
         if isinstance(operator, Filter):
             from repro.db.sql.render import render_expression
             return f"Filter: {render_expression(operator.predicate)}"
@@ -150,13 +176,22 @@ def explain_plan(root: Operator) -> list[str]:
     return lines
 
 
+def _cost_note_suffix(operator: Operator) -> str:
+    """The planner's index-vs-scan verdict, when one was taken."""
+    note = getattr(operator, "cost_note", None)
+    return f" [{note}]" if note else ""
+
+
 def analyze_stats(root: Operator) -> list[dict]:
     """Flatten an instrumented tree into per-operator measurements.
 
     Returns one entry per plan node in EXPLAIN order:
-    ``{"operator", "depth", "rows", "seconds", "loops"}``. Nodes that
-    are not wrapped report zero counters (never happens for trees built
-    by :func:`repro.db.executor.instrument_plan`).
+    ``{"operator", "depth", "rows", "seconds", "loops"}``. Operators
+    planned under ANALYZE statistics also report ``est_rows`` — the
+    planner's cardinality estimate next to the measured rows, so
+    misestimates are visible over the wire too. Nodes that are not
+    wrapped report zero counters (never happens for trees built by
+    :func:`repro.db.executor.instrument_plan`).
     """
     entries: list[dict] = []
 
@@ -182,6 +217,9 @@ def analyze_stats(root: Operator) -> list[dict]:
         }
         if batches is not None:
             entry["batches"] = batches
+        estimate = getattr(inner, "est_rows", None)
+        if estimate is not None:
+            entry["est_rows"] = round(estimate)
         entries.append(entry)
         for attr in ("child", "left", "right"):
             node = getattr(inner, attr, None)
@@ -291,11 +329,28 @@ def derive_column_name(expression: ast.Expression, index: int) -> str:
 
 class _SourceSet:
     """Tracks which leaf sources a plan fragment covers, for conjunct
-    classification."""
+    classification and cost estimation.
 
-    def __init__(self, operator: Operator, aliases: frozenset[str]) -> None:
+    ``tables`` maps each covered alias to its base table and that
+    table's ANALYZE statistics (None when never analyzed).
+    ``est_rows`` is the fragment's estimated output cardinality —
+    maintained only while every covered table has statistics; None
+    switches the planner back to its rote (pre-ANALYZE) heuristics.
+    """
+
+    def __init__(self, operator: Operator, aliases: frozenset[str],
+                 tables: dict | None = None,
+                 est_rows: float | None = None) -> None:
         self.operator = operator
         self.aliases = aliases
+        self.tables = tables if tables is not None else {}
+        self.est_rows = est_rows
+
+    def annotate(self) -> None:
+        """Stamp the estimate onto the fragment's top operator so
+        EXPLAIN can show it (only stats-informed plans carry it)."""
+        if self.est_rows is not None:
+            self.operator.est_rows = self.est_rows
 
 
 def _plan_table(ref: ast.TableRef, catalog: Catalog, track_lineage: bool,
@@ -303,7 +358,101 @@ def _plan_table(ref: ast.TableRef, catalog: Catalog, track_lineage: bool,
     table = catalog.get_table(ref.name)
     scan_class = vector.BatchSeqScan if options.batched else SeqScan
     scan = scan_class(table, ref.effective_alias, track_lineage)
-    return _SourceSet(scan, frozenset({ref.effective_alias.lower()}))
+    alias = ref.effective_alias.lower()
+    table_stats = catalog.stats_for(table.name)
+    # the estimate starts from the session-visible count (committed
+    # heap adjusted by the transaction's private overlay), so plans
+    # follow what this statement will actually read
+    est = (float(table.visible_row_count())
+           if table_stats is not None else None)
+    fragment = _SourceSet(scan, frozenset({alias}),
+                          tables={alias: (table, table_stats)},
+                          est_rows=est)
+    fragment.annotate()
+    return fragment
+
+
+def _resolve_column_stats(fragment: _SourceSet,
+                          ref: ast.ColumnRef) -> statsmod.ColumnStats | None:
+    """The ANALYZE statistics behind a column reference, if the
+    reference resolves to exactly one analyzed base table of the
+    fragment."""
+    found = None
+    for alias, (table, table_stats) in fragment.tables.items():
+        if ref.qualifier is not None and ref.qualifier.lower() != alias:
+            continue
+        if not table.schema.has_column(ref.name):
+            continue
+        if found is not None:
+            return None  # ambiguous unqualified reference
+        column = (table_stats.column(ref.name)
+                  if table_stats is not None else None)
+        found = (column,)
+    return found[0] if found is not None else None
+
+
+def _fragment_selectivity(fragment: _SourceSet,
+                          conjunct: ast.Expression) -> float:
+    return statsmod.conjunct_selectivity(
+        conjunct, lambda ref: _resolve_column_stats(fragment, ref))
+
+
+def _apply_filter_estimate(fragment: _SourceSet,
+                           conjunct: ast.Expression) -> None:
+    """Scale a fragment's cardinality estimate by a pushed predicate."""
+    if fragment.est_rows is None:
+        return
+    fragment.est_rows *= _fragment_selectivity(fragment, conjunct)
+    fragment.annotate()
+
+
+def _key_ndv(fragment: _SourceSet, key: ast.Expression) -> float | None:
+    """Distinct-value estimate of a join key within a fragment, capped
+    by the fragment's own cardinality (filters cannot add variety)."""
+    if not isinstance(key, ast.ColumnRef):
+        return None
+    column = _resolve_column_stats(fragment, key)
+    if column is None or column.ndv <= 0:
+        return None
+    ndv = float(column.ndv)
+    if fragment.est_rows is not None:
+        ndv = min(ndv, max(fragment.est_rows, 1.0))
+    return ndv
+
+
+def _join_estimate(left: _SourceSet, right: _SourceSet,
+                   pairs: list[tuple[ast.Expression, ast.Expression]]
+                   ) -> float | None:
+    """|L ⋈ R| ≈ |L|·|R| / max(ndv(L.key), ndv(R.key)) per key pair
+    (containment assumption); None unless both sides carry estimates."""
+    if left.est_rows is None or right.est_rows is None:
+        return None
+    estimate = max(left.est_rows, 0.0) * max(right.est_rows, 0.0)
+    for left_key, right_key in pairs:
+        candidates = [ndv for ndv in (_key_ndv(left, left_key),
+                                      _key_ndv(right, right_key))
+                      if ndv is not None]
+        denominator = (max(candidates) if candidates
+                       else max(left.est_rows, right.est_rows, 1.0))
+        estimate /= max(denominator, 1.0)
+    return estimate
+
+
+def _merge_sets(left: _SourceSet, right: _SourceSet, operator: Operator,
+                est_rows: float | None) -> _SourceSet:
+    tables = dict(left.tables)
+    tables.update(right.tables)
+    merged = _SourceSet(operator, left.aliases | right.aliases,
+                        tables=tables, est_rows=est_rows)
+    merged.annotate()
+    return merged
+
+
+def _cross_estimate(left: _SourceSet,
+                    right: _SourceSet) -> float | None:
+    if left.est_rows is None or right.est_rows is None:
+        return None
+    return left.est_rows * right.est_rows
 
 
 def _filtered(operator: Operator, conjunct: ast.Expression,
@@ -326,42 +475,54 @@ def _filtered(operator: Operator, conjunct: ast.Expression,
 
 
 def _estimate_rows(operator: Operator) -> int | None:
-    """Base-table row count feeding a plan fragment, best effort.
+    """Session-visible base-table row count feeding a plan fragment.
 
     Walks single-child chains (filters, fused scans) down to the scan;
-    gives up (None) at joins and other multi-input nodes.
+    gives up (None) at joins and other multi-input nodes. The count is
+    overlay-aware: a transaction that bulk-inserted into one join side
+    sees its own writes reflected here (the committed heap alone would
+    pick a backwards build side).
     """
     node = operator
     while node is not None:
         if isinstance(node, (SeqScan, IndexScan)):
-            return len(node.table.rows)
+            return node.table.visible_row_count()
         node = getattr(node, "child", None)
     return None
 
 
-def _choose_build_side(kind: str, left: Operator,
-                       right: Operator) -> str:
+def _choose_build_side(kind: str, left: _SourceSet,
+                       right: _SourceSet) -> str:
     """Hash the smaller input. LEFT joins must build on the right
     (the probe pass pads unmatched preserved rows); ties and unknown
-    cardinalities keep the historical build-right choice."""
+    cardinalities keep the historical build-right choice. Fragments
+    with ANALYZE statistics compare selectivity-scaled estimates;
+    the rest fall back to raw visible row counts."""
     if kind != "inner":
         return "right"
-    left_rows = _estimate_rows(left)
-    right_rows = _estimate_rows(right)
+    left_rows = (left.est_rows if left.est_rows is not None
+                 else _estimate_rows(left.operator))
+    right_rows = (right.est_rows if right.est_rows is not None
+                  else _estimate_rows(right.operator))
     if left_rows is None or right_rows is None:
         return "right"
     return "left" if left_rows < right_rows else "right"
 
 
-def _make_hash_join(left: Operator, right: Operator,
+def _make_hash_join(left: _SourceSet, right: _SourceSet,
                     left_keys: list[ast.Expression],
                     right_keys: list[ast.Expression], kind: str,
                     residual: Optional[ast.Expression],
-                    options: _PlanOptions) -> Operator:
+                    options: _PlanOptions) -> _SourceSet:
     build_side = _choose_build_side(kind, left, right)
     join_class = vector.BatchHashJoin if options.batched else HashJoin
-    return join_class(left, right, left_keys, right_keys, kind,
-                      residual, build_side)
+    operator = join_class(left.operator, right.operator, left_keys,
+                          right_keys, kind, residual, build_side)
+    est = _join_estimate(left, right, list(zip(left_keys, right_keys)))
+    if est is not None and kind == "left":
+        # preserved-side rows survive unmatched: never below |L|
+        est = max(est, left.est_rows or 0.0)
+    return _merge_sets(left, right, operator, est)
 
 
 def _plan_join_source(source, catalog: Catalog, track_lineage: bool,
@@ -374,24 +535,23 @@ def _plan_join_source(source, catalog: Catalog, track_lineage: bool,
                                  options)
         right = _plan_table(source.right, catalog, track_lineage,
                             options)
-        aliases = left.aliases | right.aliases
         if source.kind == "cross" or source.condition is None:
             operator: Operator = NestedLoopJoin(
                 left.operator, right.operator, None, "cross")
-            return _SourceSet(operator, aliases)
+            return _merge_sets(left, right, operator,
+                               _cross_estimate(left, right))
         equi, residual = _extract_equi_keys(
             split_conjuncts(source.condition), left, right)
         if equi:
             left_keys = [pair[0] for pair in equi]
             right_keys = [pair[1] for pair in equi]
-            operator = _make_hash_join(left.operator, right.operator,
-                                       left_keys, right_keys,
-                                       source.kind, conjoin(residual),
-                                       options)
-        else:
-            operator = NestedLoopJoin(left.operator, right.operator,
-                                      source.condition, source.kind)
-        return _SourceSet(operator, aliases)
+            return _make_hash_join(left, right, left_keys, right_keys,
+                                   source.kind, conjoin(residual),
+                                   options)
+        operator = NestedLoopJoin(left.operator, right.operator,
+                                  source.condition, source.kind)
+        return _merge_sets(left, right, operator,
+                           _cross_estimate(left, right))
     raise ExecutionError(f"unsupported FROM entry {source!r}")
 
 
@@ -501,36 +661,47 @@ def _plan_from_where(select: ast.Select, catalog: Catalog,
                                                track_lineage, options):
                             fragment.operator = _filtered(
                                 fragment.operator, conjunct, options)
+                        _apply_filter_estimate(fragment, conjunct)
                         placed = True
                         break
         if not placed:
             remaining.append(conjunct)
 
-    # greedy join ordering driven by equi-predicates
+    # greedy join ordering driven by equi-predicates; with ANALYZE
+    # statistics on every connected candidate, the next join is the
+    # one with the smallest estimated output (so a selective dimension
+    # shrinks the pipeline before a fan-out junction expands it) —
+    # otherwise the rote first-connected order is kept
     current = fragments[0]
     pending = fragments[1:]
     while pending:
-        chosen_index = None
-        chosen_equi: list[tuple[ast.Expression, ast.Expression]] = []
+        connected: list[tuple[int, _SourceSet, list]] = []
         for index, candidate in enumerate(pending):
             equi, _ = _extract_equi_keys(remaining, current, candidate)
             if equi:
-                chosen_index = index
-                chosen_equi = equi
-                break
-        if chosen_index is None:
+                connected.append((index, candidate, equi))
+        if not connected:
             candidate = pending.pop(0)
             operator: Operator = NestedLoopJoin(
                 current.operator, candidate.operator, None, "cross")
-            current = _SourceSet(operator, current.aliases | candidate.aliases)
+            current = _merge_sets(current, candidate, operator,
+                                  _cross_estimate(current, candidate))
             continue
+        chosen_index, _, chosen_equi = connected[0]
+        if (len(connected) > 1 and current.est_rows is not None
+                and all(candidate.est_rows is not None
+                        for _, candidate, _ in connected)):
+            best_estimate = None
+            for index, candidate, equi in connected:
+                estimate = _join_estimate(current, candidate, equi)
+                if best_estimate is None or estimate < best_estimate:
+                    best_estimate = estimate
+                    chosen_index, chosen_equi = index, equi
         candidate = pending.pop(chosen_index)
         left_keys = [pair[0] for pair in chosen_equi]
         right_keys = [pair[1] for pair in chosen_equi]
-        operator = _make_hash_join(current.operator, candidate.operator,
-                                   left_keys, right_keys, "inner", None,
-                                   options)
-        current = _SourceSet(operator, current.aliases | candidate.aliases)
+        current = _make_hash_join(current, candidate, left_keys,
+                                  right_keys, "inner", None, options)
         # remove consumed equi conjuncts from the remaining list
         consumed = set()
         for left_key, right_key in chosen_equi:
@@ -570,7 +741,15 @@ def _try_index_scan(fragment: _SourceSet, conjunct: ast.Expression,
                     track_lineage: bool, options: _PlanOptions) -> bool:
     """Turn a bare SeqScan plus a ``col = constant`` or
     ``col IN (constants)`` conjunct into an IndexScan when a hash
-    index covers the column."""
+    index covers the column.
+
+    With ANALYZE statistics the conversion is cost-gated: per-literal
+    probes only win while ``probes + estimated matches`` undercuts a
+    full scan, so an IN list that rivals the table stays on the
+    (fused) sequential scan. The losing path is recorded on the scan
+    node (``cost_note``) so EXPLAIN shows which choice won and why.
+    Without statistics every indexable conjunct converts, as before.
+    """
     operator = fragment.operator
     if not isinstance(operator, SeqScan):
         return False
@@ -594,9 +773,27 @@ def _try_index_scan(fragment: _SourceSet, conjunct: ast.Expression,
         index = operator.table.index_on(column.name)
         if index is None:
             continue
+        if fragment.est_rows is not None:
+            probes = (len(constant) if isinstance(constant, list)
+                      else 1)
+            table_rows = max(fragment.est_rows, 1.0)
+            matched = (table_rows
+                       * _fragment_selectivity(fragment, conjunct))
+            probe_cost = (statsmod.INDEX_PROBE_COST * probes
+                          + statsmod.INDEX_ROW_COST * matched)
+            scan_cost = table_rows
+            if probe_cost >= scan_cost:
+                operator.cost_note = (
+                    f"{index.name} skipped: {probes} probe(s) ~ est "
+                    f"{matched:.0f} of {table_rows:.0f} rows, scan is "
+                    f"cheaper")
+                return False
         fragment.operator = scan_class(
             operator.table, operator.qualifier, index, constant,
             track_lineage)
+        if fragment.est_rows is not None:
+            fragment.operator.cost_note = (
+                f"cost {probe_cost:.0f} < scan {scan_cost:.0f}")
         return True
     return False
 

@@ -319,6 +319,19 @@ class Explain(Statement):
 
 
 @dataclass(frozen=True)
+class Analyze(Statement):
+    """``ANALYZE [table]`` — collect planner statistics.
+
+    Without a table name every table in the catalog is analyzed. The
+    collected statistics (row count, per-column NDV, null fraction,
+    min/max, equi-depth histogram) feed the planner's cost model; see
+    :mod:`repro.db.stats`.
+    """
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class Begin(Statement):
     pass
 

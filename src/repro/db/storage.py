@@ -336,6 +336,30 @@ class HeapTable:
     def row_count(self) -> int:
         return len(self.rows)
 
+    def visible_row_count(self) -> int:
+        """Estimated row count as seen by the ambient read view.
+
+        Without a view this is the committed heap size. Under a view
+        the committed count is adjusted by the transaction's private
+        overlay (its inserts and deletes), without paying a full scan —
+        the planner calls this per table per plan. Versions committed
+        after the snapshot are approximated as visible; the figure is
+        a cardinality estimate, not a COUNT(*).
+        """
+        count = len(self.rows)
+        view = self.active_view()
+        if view is None:
+            return count
+        overlay = view.overlay_for(self.name)
+        if overlay is not None:
+            for rowid in overlay.upserts:
+                if rowid not in self.rows:
+                    count += 1
+            for rowid in overlay.deletes:
+                if rowid in self.rows:
+                    count -= 1
+        return count
+
     def truncate(self) -> None:
         """Drop all rows but keep the schema and rowid counter."""
         self.rows.clear()
