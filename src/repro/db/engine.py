@@ -50,6 +50,7 @@ from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.clockwork import LogicalClock
 from repro.db import csvio
+from repro.db import parallel as parmod
 from repro.db.catalog import Catalog
 from repro.db.executor import MaterializedSource
 from repro.db.expressions import Evaluator, bound_parameters
@@ -127,13 +128,18 @@ class PlanCache:
     """LRU cache of planned SELECT operator trees.
 
     Keyed by ``(normalized SQL text, provenance flag, catalog
-    version, stats version)``. Including the catalog version makes
-    every cached plan built against an older schema unreachable the
-    moment any DDL runs — DDL handlers additionally :meth:`clear` the
-    cache so stale entries do not linger until LRU eviction. The
-    stats version does the same for the cost model: ANALYZE bumps it,
-    so plans costed against superseded statistics are re-planned on
-    the next execution instead of being served forever.
+    version, stats version, parallel worker setting)``. Including the
+    catalog version makes every cached plan built against an older
+    schema unreachable the moment any DDL runs — DDL handlers
+    additionally :meth:`clear` the cache so stale entries do not
+    linger until LRU eviction. The stats version does the same for the
+    cost model: ANALYZE bumps it, so plans costed against superseded
+    statistics are re-planned on the next execution instead of being
+    served forever. The worker setting is part of the key because a
+    plan is *shaped* by it: a plan costed (and built) under one worker
+    must never be served once :meth:`Database.set_parallel_workers`
+    changes the setting — the serial plan has no Gather operators and
+    would silently ignore the new parallelism (and vice versa).
 
     Only plain SELECT statements without subqueries are cacheable:
     subquery expansion inlines executed results into the AST, which
@@ -436,6 +442,11 @@ class Database:
         self.autoflush = autoflush
         self.timer = timer
         self.plan_cache = PlanCache(plan_cache_size)
+        # partition-parallel execution settings (see set_parallel_workers):
+        # 1 worker means serial plans, exactly as before this knob existed
+        self.parallel_workers = 1
+        self.parallel_pool_factory: Optional[Callable[[], Any]] = None
+        self.parallel_min_rows = parmod.DEFAULT_MIN_ROWS
         # MVCC state lives on the catalog so tables can consult it;
         # sessions are handed out here (one per server connection, plus
         # the default one used by the embedded single-connection API)
@@ -473,6 +484,7 @@ class Database:
             meta = directory.load_meta()
             self.dedupe_ledger.load(meta.get("ledger", []))
             self.catalog.load_stats(meta.get("stats", {}))
+            self.catalog.load_partitions(meta.get("partitions", {}))
             self._replay_recovered(self.last_recovery)
             self._restore_clock(directory, self.last_recovery)
             # recovery may have replayed DDL; plans cached before it
@@ -530,6 +542,14 @@ class Database:
                 self.catalog.set_stats(
                     record["table"],
                     TableStats.from_dict(record["stats"]))
+        elif operation == "partition":
+            if self.catalog.has_table(record["table"]):
+                table = self.catalog.get_table(record["table"])
+                if record.get("column") is None:
+                    table.clear_partitioning()
+                else:
+                    table.set_partitioning(record["column"],
+                                           int(record["count"]))
         elif operation == "ledger":
             self.dedupe_ledger.record(
                 record["token"], record["result"],
@@ -732,7 +752,8 @@ class Database:
             if replayed is not None:
                 return replayed
         key = (PlanCache.normalize(sql), bool(provenance),
-               self.catalog.version, self.catalog.stats_version)
+               self.catalog.version, self.catalog.stats_version,
+               self.parallel_workers)
         planned = self.plan_cache.get(key)
         if planned is not None:
             with self._read_view(session):
@@ -750,7 +771,8 @@ class Database:
             # estimates must see the transaction's own overlay (a bulk
             # insert into one join side steers this plan's build side)
             with self._read_view(session):
-                planned = plan_select(statement, self.catalog, track)
+                planned = plan_select(statement, self.catalog, track,
+                                      parallel=self._parallel_context())
                 result = self._run_planned_select(planned)
             if session.txn is None:
                 # overlay-costed plans stay private to the planning
@@ -795,11 +817,12 @@ class Database:
         are used but not cached."""
         key = (prepared.normalized_sql or PlanCache.normalize(prepared.sql),
                bool(provenance), self.catalog.version,
-               self.catalog.stats_version)
+               self.catalog.stats_version, self.parallel_workers)
         planned = self.plan_cache.get(key)
         if planned is None:
             track = provenance or prepared.statement.provenance
-            planned = plan_select(prepared.statement, self.catalog, track)
+            planned = plan_select(prepared.statement, self.catalog, track,
+                                  parallel=self._parallel_context())
             if session is None or session.txn is None:
                 self.plan_cache.put(key, planned)
         return planned
@@ -1074,7 +1097,8 @@ class Database:
             # recovery still dedupes and the planner keeps its stats
             directory.save_meta({"clock": self.clock.now,
                                  "ledger": self.dedupe_ledger.dump(),
-                                 "stats": self.catalog.dump_stats()})
+                                 "stats": self.catalog.dump_stats(),
+                                 "partitions": self.catalog.dump_partitions()})
         if self.wal is not None:
             self.wal.reset()
 
@@ -1093,11 +1117,78 @@ class Database:
         after each commit; exposed for leak checks and tests)."""
         self._prune_mvcc()
 
+    # -- partition-parallel execution ----------------------------------------------
+
+    def set_parallel_workers(self, workers: int,
+                             pool_factory: Callable[[], Any] | None = None,
+                             min_rows: int | None = None) -> None:
+        """Configure partition-parallel query execution.
+
+        ``workers=1`` (the default) plans exactly as before — no
+        Gather operators, no pools. More workers makes the planner
+        wrap eligible scans and aggregations in partition-parallel
+        Gathers whenever the estimated input clears ``min_rows``
+        (default :data:`repro.db.parallel.DEFAULT_MIN_ROWS`).
+        ``pool_factory`` overrides how worker pools are obtained — the
+        test suites inject :class:`repro.db.parallel.InProcessPool`
+        for deterministic, coverage-visible execution; production uses
+        forked processes (:class:`repro.db.parallel.ForkPool`).
+
+        The worker count is part of the plan-cache key, so plans built
+        under the old setting become unreachable instead of being
+        served with the wrong shape; changing ``min_rows`` clears the
+        cache outright since the key does not carry it.
+        """
+        workers = max(1, int(workers))
+        if min_rows is not None and min_rows != self.parallel_min_rows:
+            self.plan_cache.clear()
+            self.parallel_min_rows = int(min_rows)
+        self.parallel_workers = workers
+        self.parallel_pool_factory = pool_factory
+
+    def _parallel_context(self) -> Optional[parmod.ParallelContext]:
+        if self.parallel_workers <= 1:
+            return None
+        return parmod.ParallelContext(
+            self.parallel_workers, self.parallel_pool_factory,
+            self.parallel_min_rows)
+
+    def set_table_partitioning(self, table_name: str, column: str | None,
+                               count: int = 0) -> None:
+        """Hash-partition a table's heap on ``column`` into ``count``
+        buckets (``column=None`` clears the partitioning).
+
+        Partitioning is physical-plan metadata: it never changes the
+        table's serialized bytes, only how parallel scans split rowids
+        across workers. Like DDL it is autocommit-only, is WAL-logged
+        (``{"op": "partition", ...}``) so it survives a crash, and is
+        persisted in the checkpoint meta once the WAL resets.
+        """
+        self._ensure_usable()
+        if self.mvcc.has_active():
+            raise TransactionError(
+                "cannot change partitioning during an open transaction")
+        table = self.catalog.get_table(table_name)
+        if column is None:
+            table.clear_partitioning()
+            record = {"op": "partition", "table": table.name,
+                      "column": None, "count": 0}
+        else:
+            table.set_partitioning(column, count)
+            spec = table.partition_spec
+            record = {"op": "partition", "table": table.name,
+                      "column": spec.column, "count": spec.count}
+        # partition lists are read at execution time, so cached plans
+        # stay valid — but the WAL record must commit durably now
+        self._log_ddl(record)
+        self._commit_wal_batch()
+
     # -- SELECT --------------------------------------------------------------------
 
     def _execute_select(self, select: ast.Select,
                         track_lineage: bool) -> StatementResult:
-        planned = plan_select(select, self.catalog, track_lineage)
+        planned = plan_select(select, self.catalog, track_lineage,
+                              parallel=self._parallel_context())
         return self._run_planned_select(planned)
 
     def _materialize_root(self, root) -> tuple[list[tuple], list[frozenset]]:
@@ -1148,7 +1239,8 @@ class Database:
                        track_lineage: bool) -> StatementResult:
         from repro.db.planner import plan_setop
 
-        planned = plan_setop(setop, self.catalog, track_lineage)
+        planned = plan_setop(setop, self.catalog, track_lineage,
+                             parallel=self._parallel_context())
         rows, lineages = self._materialize_root(planned.root)
         return StatementResult(
             kind="select", schema=planned.schema, rows=rows,
@@ -1164,7 +1256,8 @@ class Database:
         # plans unfused so each Scan/Filter/Project keeps its own node
         # (and measurement) in the tree.
         planned = plan_select(explain.query, self.catalog, False,
-                              fuse=not explain.analyze)
+                              fuse=not explain.analyze,
+                              parallel=self._parallel_context())
         root = planned.root
         stats: dict[str, Any] = {}
         if explain.analyze:

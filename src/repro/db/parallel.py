@@ -1,0 +1,246 @@
+"""Partition-parallel execution: worker pools and exchange planning.
+
+The vectorized pipeline (``repro.db.vector``) is single-threaded, and
+the GIL makes in-process threads useless for CPU-bound scans. This
+module supplies the process layer under the ``Gather`` operators:
+
+* :class:`ForkPool` — one forked child per partition. ``fork`` gives
+  every worker a copy-on-write snapshot of the whole engine (heaps,
+  compiled kernels, the ambient MVCC read view), which sidesteps the
+  fact that compiled expression closures are not picklable: nothing is
+  shipped *to* a worker, only pickled results come back through a
+  pipe. Children exit with ``os._exit`` so they never run the parent's
+  cleanup handlers, and the parent reaps every child it forked — on
+  success, on worker crash, and on parent-side errors alike.
+* :class:`InProcessPool` — the deterministic twin used by the parity
+  and property test suites: same thunks, same merge path, no
+  processes. Injecting it makes partition/merge logic testable with
+  plain stack traces and coverage.
+
+Both pools run read-only thunks. Parallel plans are only ever built
+for SELECT pipelines, so a worker never writes WAL records, never
+flushes tables, and never mutates shared state the parent observes —
+the fork boundary is a read-only snapshot handoff by construction.
+
+MVCC correctness: the gather operator captures the session's ambient
+:class:`~repro.db.mvcc.ReadView` before dispatching and each thunk
+re-installs it, so a worker scans exactly the snapshot the serial plan
+would have scanned (fork already copies the view and the overlay data
+it points at; re-installing makes the handoff explicit and keeps the
+in-process pool honest).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import Any, Callable
+
+from repro.errors import WorkerCrashError
+
+Thunk = Callable[[], Any]
+
+# Parallel plans only pay off once the scan dominates plan overhead;
+# below this many estimated input rows the planner stays serial.
+DEFAULT_MIN_ROWS = 10_000
+
+
+class InProcessPool:
+    """Deterministic pool: runs every thunk in this process, in order.
+
+    ``child_hook`` (if given) runs before each thunk with the
+    partition index — the chaos tests use it to inject failures at
+    exact partitions in both pool implementations.
+    """
+
+    def __init__(self, child_hook: Callable[[int], None] | None = None
+                 ) -> None:
+        self.child_hook = child_hook
+
+    def run(self, thunks: list[Thunk]) -> list[Any]:
+        results = []
+        for index, thunk in enumerate(thunks):
+            if self.child_hook is not None:
+                self.child_hook(index)
+            results.append(thunk())
+        return results
+
+
+class ForkPool:
+    """One forked worker process per thunk, results over pipes.
+
+    Wire format per pipe: an 8-byte little-endian length followed by a
+    pickled ``(ok, value)`` pair — ``(True, result)`` or ``(False,
+    exception)``. A worker that dies before completing its frame (the
+    chaos campaigns kill them mid-scan) surfaces as
+    :class:`WorkerCrashError` in the parent *after* every child has
+    been reaped, so no zombies or pipe fds outlive the statement.
+    """
+
+    def __init__(self, child_hook: Callable[[int], None] | None = None
+                 ) -> None:
+        self.child_hook = child_hook
+        # pids of the most recent run, for reap assertions in tests
+        self.last_pids: list[int] = []
+
+    def run(self, thunks: list[Thunk]) -> list[Any]:
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+            return InProcessPool(self.child_hook).run(thunks)
+        children: list[tuple[int, int, int]] = []  # (pid, read_fd, index)
+        results: list[Any] = [None] * len(thunks)
+        crashed: list[int] = []
+        worker_error: BaseException | None = None
+        self.last_pids = []
+        try:
+            for index, thunk in enumerate(thunks):
+                read_fd, write_fd = os.pipe()
+                pid = os.fork()
+                if pid == 0:  # pragma: no cover - forked child
+                    os.close(read_fd)
+                    self._child_main(write_fd, index, thunk)
+                os.close(write_fd)
+                children.append((pid, read_fd, index))
+                self.last_pids.append(pid)
+            for _pid, read_fd, index in children:
+                outcome = self._read_frame(read_fd)
+                if outcome is None:
+                    crashed.append(index)
+                    continue
+                ok, value = outcome
+                if ok:
+                    results[index] = value
+                elif worker_error is None:
+                    worker_error = value
+        finally:
+            for _pid, read_fd, _index in children:
+                try:
+                    os.close(read_fd)
+                except OSError:  # pragma: no cover - already closed
+                    pass
+            for pid, _read_fd, _index in children:
+                try:
+                    os.waitpid(pid, 0)
+                except ChildProcessError:  # pragma: no cover
+                    pass
+        if crashed:
+            raise WorkerCrashError(
+                f"parallel worker(s) {crashed} died before returning "
+                f"results; statement aborted, all workers reaped")
+        if worker_error is not None:
+            raise worker_error
+        return results
+
+    def _child_main(  # pragma: no cover - runs only in the forked child
+            self, write_fd: int, index: int, thunk: Thunk) -> None:
+        """Runs only in the forked child; never returns. Coverage
+        tooling cannot observe post-fork lines (hence the pragma) —
+        the behavior is pinned instead by the pool tests: result
+        frames, exception frames, unpicklable-exception downgrade, and
+        death-before-frame all have parent-side assertions."""
+        status = 0
+        try:
+            if self.child_hook is not None:
+                self.child_hook(index)
+            payload = pickle.dumps((True, thunk()),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException as error:
+            status = 1
+            try:
+                payload = pickle.dumps((False, error),
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                payload = pickle.dumps(
+                    (False, WorkerCrashError(
+                        f"worker {index} failed with unpicklable "
+                        f"error: {error!r}")),
+                    protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            os.write(write_fd, struct.pack("<Q", len(payload)))
+            os.write(write_fd, payload)
+            os.close(write_fd)
+        except BaseException:  # pragma: no cover - parent died first
+            status = 1
+        os._exit(status)
+
+    @staticmethod
+    def _read_frame(read_fd: int) -> tuple[bool, Any] | None:
+        """One length-prefixed frame, or None if the writer died."""
+        def read_exact(wanted: int) -> bytes | None:
+            pieces = []
+            remaining = wanted
+            while remaining:
+                piece = os.read(read_fd, remaining)
+                if not piece:
+                    return None
+                pieces.append(piece)
+                remaining -= len(piece)
+            return b"".join(pieces)
+
+        header = read_exact(8)
+        if header is None:
+            return None
+        (length,) = struct.unpack("<Q", header)
+        payload = read_exact(length)
+        if payload is None:
+            return None
+        return pickle.loads(payload)
+
+
+def default_pool_factory() -> ForkPool:
+    return ForkPool()
+
+
+class ParallelContext:
+    """Everything the planner and Gather operators need to go parallel:
+    the worker count, how to obtain a pool, and the cost threshold
+    below which plans stay serial. One context is built per planning
+    call from the database's current settings; the plan-cache key
+    carries the worker count so a cached plan can never execute under
+    a different setting than it was planned for."""
+
+    __slots__ = ("workers", "pool_factory", "min_rows")
+
+    def __init__(self, workers: int,
+                 pool_factory: Callable[[], Any] | None = None,
+                 min_rows: int = DEFAULT_MIN_ROWS) -> None:
+        self.workers = max(1, int(workers))
+        self.pool_factory = (pool_factory if pool_factory is not None
+                             else default_pool_factory)
+        self.min_rows = min_rows
+
+    def make_pool(self) -> Any:
+        return self.pool_factory()
+
+
+def split_ranges(items: list, parts: int) -> list[list]:
+    """Split a list into at most ``parts`` contiguous chunks of nearly
+    equal size (never an empty chunk). Order within and across chunks
+    preserves the input order, so concatenating the chunks round-trips
+    the list — the property the concat-mode gather relies on."""
+    total = len(items)
+    parts = max(1, min(parts, total if total else 1))
+    base, extra = divmod(total, parts)
+    chunks: list[list] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        if size == 0:
+            continue
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
+
+
+def bucket_lists(buckets: list[list[int]], parts: int) -> list[list[int]]:
+    """Distribute hash-partition buckets round-robin over ``parts``
+    workers, each worker's rowid list re-sorted so every per-worker
+    stream is rowid-ordered (the merge-mode gather k-way merges them
+    back into exact global rowid order)."""
+    parts = max(1, parts)
+    assigned: list[list[int]] = [[] for _ in range(min(parts,
+                                                       len(buckets)) or 1)]
+    for index, bucket in enumerate(buckets):
+        assigned[index % len(assigned)].extend(bucket)
+    lists = [sorted(rowids) for rowids in assigned if rowids]
+    return lists if lists else [[]]

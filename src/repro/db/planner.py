@@ -29,12 +29,14 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.db import expressions as exprs
+from repro.db import parallel as parmod
 from repro.db import stats as statsmod
 from repro.db import vector
 from repro.db.catalog import Catalog
 from repro.db.executor import (
     Distinct,
     Filter,
+    Gather,
     GroupAggregate,
     HashJoin,
     IndexScan,
@@ -116,6 +118,13 @@ def explain_plan(root: Operator) -> list[str]:
         name = type(operator).__name__
         if name.startswith("Batch"):
             name = name[len("Batch"):]
+        if isinstance(operator, Gather):
+            if isinstance(operator, vector.BatchAggregateGather):
+                template = operator.template
+                return (f"AggregateGather (workers={operator.workers}, "
+                        f"{len(template.group_expressions)} keys, "
+                        f"{len(template.aggregate_calls)} aggregates)")
+            return f"Gather (workers={operator.workers})"
         if isinstance(operator, vector.FusedScanFilterProject):
             parts = [f"{len(operator.predicates)} predicates"]
             if operator.projections is not None:
@@ -163,6 +172,21 @@ def explain_plan(root: Operator) -> list[str]:
         lines.append("  " * depth + describe(operator))
         if isinstance(operator, Instrumented):
             operator = operator.inner
+        if isinstance(operator, Gather):
+            # per-partition measurements come back from the workers
+            # themselves (child-process counters cannot propagate), so
+            # they render as annotation lines under the gather, above
+            # the (uninstrumented) template subtree
+            stats = operator.partition_stats
+            if stats:
+                for entry in stats:
+                    lines.append(
+                        "  " * (depth + 1)
+                        + f"Partition {entry['partition']}: "
+                          f"rows={entry['rows']} "
+                          f"time={entry['seconds'] * 1000.0:.3f} ms")
+            walk(operator.template, depth + 1)
+            return
         for attr in ("child", "left", "right"):
             node = getattr(operator, attr, None)
             if isinstance(node, Operator):
@@ -220,6 +244,13 @@ def analyze_stats(root: Operator) -> list[dict]:
         estimate = getattr(inner, "est_rows", None)
         if estimate is not None:
             entry["est_rows"] = round(estimate)
+        if isinstance(inner, Gather):
+            entry["workers"] = inner.workers
+            if inner.partition_stats is not None:
+                entry["partitions"] = list(inner.partition_stats)
+            entries.append(entry)
+            walk(inner.template, depth + 1)
+            return
         entries.append(entry)
         for attr in ("child", "left", "right"):
             node = getattr(inner, attr, None)
@@ -814,6 +845,84 @@ def _collect_source_tables(sources) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
+# Partition-parallel exchange placement
+# ---------------------------------------------------------------------------
+
+
+def _parallel_input_rows(scan: Operator) -> float:
+    """Estimated rows a parallel scan would read: the table-level
+    ANALYZE estimate when one was stamped on the scan node, else the
+    session-visible row count (overlay-aware, like every other cost
+    input)."""
+    estimate = getattr(scan, "est_rows", None)
+    if estimate is not None:
+        return float(estimate)
+    return float(scan.table.visible_row_count())
+
+
+def _try_gather(node: Operator,
+                context: parmod.ParallelContext) -> Operator | None:
+    """Replace an eligible sub-plan with a Gather, or return None.
+
+    Two shapes qualify:
+
+    * a Scan→Filter→Project chain (fused or not) rooted at ``node`` —
+      wrapped in :class:`repro.db.vector.BatchGather`, which runs one
+      clone of the chain per partition and merges batches back into
+      exact serial row order;
+    * a :class:`repro.db.vector.BatchGroupAggregate` over such a chain
+      — when every aggregate merges exactly
+      (:func:`repro.db.expressions.merge_exact_aggregate`) the whole
+      aggregate goes partition-parallel via
+      :class:`repro.db.vector.BatchAggregateGather` (partial states
+      merged at the gather); otherwise only the scan below it is
+      parallelized and the fold stays serial, so float accumulation
+      order — and therefore every emitted bit — matches the serial
+      plan.
+
+    Either way the replacement is cost-gated: partition dispatch only
+    pays off when the scan reads at least ``context.min_rows`` rows.
+    """
+    if isinstance(node, vector.BatchGroupAggregate):
+        scan = vector.parallel_scan_leaf(node.child)
+        if scan is None:
+            return None
+        if _parallel_input_rows(scan) < context.min_rows:
+            return None
+        if all(exprs.merge_exact_aggregate(call, node.child.schema)
+               for call in node.aggregate_calls):
+            return vector.BatchAggregateGather(node, scan, context)
+        node.child = vector.BatchGather(node.child, scan, context)
+        return node
+    scan = vector.parallel_scan_leaf(node)
+    if scan is None:
+        return None
+    if _parallel_input_rows(scan) < context.min_rows:
+        return None
+    return vector.BatchGather(node, scan, context)
+
+
+def parallelize_plan(root: Operator,
+                     context: parmod.ParallelContext) -> Operator:
+    """Walk a planned tree top-down, replacing every eligible sub-plan
+    (including scan sides of joins) with a partition-parallel Gather.
+    A replaced sub-plan becomes the gather's *template* and is not
+    descended into again."""
+    replacement = _try_gather(root, context)
+    if replacement is not None:
+        return replacement
+    for attr in ("child", "left", "right", "inner"):
+        sub = getattr(root, attr, None)
+        if isinstance(sub, Operator):
+            setattr(root, attr, parallelize_plan(sub, context))
+    children = getattr(root, "children", None)
+    if isinstance(children, list):
+        for index, sub in enumerate(children):
+            children[index] = parallelize_plan(sub, context)
+    return root
+
+
+# ---------------------------------------------------------------------------
 # Full SELECT planning
 # ---------------------------------------------------------------------------
 
@@ -844,13 +953,17 @@ def _expand_stars(select: ast.Select, schema: Schema) -> list[ast.SelectItem]:
 
 def plan_select(select: ast.Select, catalog: Catalog,
                 track_lineage: bool = False,
-                fuse: bool = True) -> PlannedQuery:
+                fuse: bool = True,
+                parallel: parmod.ParallelContext | None = None
+                ) -> PlannedQuery:
     """Plan a SELECT statement into an executable operator tree.
 
     Plans are vectorized (batch operators) whenever
     :func:`repro.db.vector.vectorized_enabled` allows; ``fuse=False``
     keeps Scan/Filter/Project as separate nodes (EXPLAIN ANALYZE needs
-    per-operator attribution).
+    per-operator attribution). With a ``parallel`` context of more
+    than one worker, eligible sub-plans are wrapped in partition-
+    parallel Gather operators (:func:`parallelize_plan`).
     """
     options = _plan_options(fuse)
     source, source_tables = _plan_from_where(select, catalog,
@@ -924,12 +1037,17 @@ def plan_select(select: ast.Select, catalog: Catalog,
         strip_class = (vector.BatchStripColumns if options.batched
                        else StripColumns)
         root = strip_class(root, visible_width, visible_schema)
+    if (parallel is not None and parallel.workers > 1
+            and options.batched):
+        root = parallelize_plan(root, parallel)
     return PlannedQuery(root, visible_schema, source_tables)
 
 
 def plan_setop(setop: ast.SetOp, catalog: Catalog,
                track_lineage: bool = False,
-               fuse: bool = True) -> PlannedQuery:
+               fuse: bool = True,
+               parallel: parmod.ParallelContext | None = None
+               ) -> PlannedQuery:
     """Plan a UNION [ALL] chain into a Union (+ Distinct) operator."""
     from repro.db.executor import Union as UnionOp
 
@@ -950,7 +1068,8 @@ def plan_setop(setop: ast.SetOp, catalog: Catalog,
             branches.append((node, True))
 
     flatten(setop, True)
-    planned = [plan_select(select, catalog, track_lineage, fuse)
+    planned = [plan_select(select, catalog, track_lineage, fuse,
+                           parallel)
                for select, _ in branches]
     first_schema = planned[0].schema
     root: Operator = union_class([entry.root for entry in planned])

@@ -35,13 +35,16 @@ measure the tuple engine on identical plans).
 
 from __future__ import annotations
 
+import heapq
 from contextlib import contextmanager
 from itertools import islice
 from operator import itemgetter
+from time import perf_counter
 from typing import Any, Callable, Iterator
 
 from repro.db import executor as ex
 from repro.db import expressions as exprs
+from repro.db import parallel as par
 from repro.db.provtypes import EMPTY_LINEAGE, lineage_singletons
 from repro.db.sql import ast
 from repro.errors import ExecutionError
@@ -87,21 +90,28 @@ class RowBatch:
     positions still alive (None = all). ``row_major`` optionally
     caches the same rows as tuples (producers that already hold row
     tuples — scans, join output — pass them so :meth:`rows` skips
-    re-transposing). Consumers must treat the vectors as immutable —
-    operators share them across batches.
+    re-transposing). ``rowids`` is a second annotation vector carrying
+    each row's global heap rowid — only partition-parallel pipelines
+    populate it (the gather boundary merges partition streams back
+    into exact serial rowid order by it); everywhere else it stays
+    None and costs nothing. Consumers must treat the vectors as
+    immutable — operators share them across batches.
     """
 
-    __slots__ = ("columns", "count", "lineages", "sel", "row_major")
+    __slots__ = ("columns", "count", "lineages", "sel", "row_major",
+                 "rowids")
 
     def __init__(self, columns: list, count: int,
                  lineages: list | None = None,
                  sel: Any = None,
-                 row_major: list | None = None) -> None:
+                 row_major: list | None = None,
+                 rowids: list | None = None) -> None:
         self.columns = columns
         self.count = count
         self.lineages = lineages
         self.sel = sel
         self.row_major = row_major
+        self.rowids = rowids
 
     def selection(self) -> Any:
         return range(self.count) if self.sel is None else self.sel
@@ -148,11 +158,19 @@ class RowBatch:
             return [EMPTY_LINEAGE] * len(self)
         return gathered
 
+    def gathered_rowids(self) -> list | None:
+        """Rowid vector aligned with :meth:`rows`, or None."""
+        if self.rowids is None:
+            return None
+        if self.sel is None:
+            return self.rowids
+        return [self.rowids[index] for index in self.sel]
+
     def slice(self, start: int, stop: int) -> "RowBatch":
         """A sub-range of the selected rows (shares the vectors)."""
         sel = self.selection()
         return RowBatch(self.columns, self.count, self.lineages,
-                        sel[start:stop], self.row_major)
+                        sel[start:stop], self.row_major, self.rowids)
 
 
 class BatchOperator(ex.Operator):
@@ -261,6 +279,76 @@ class BatchSeqScan(BatchOperator, ex.SeqScan):
                            chunk_rows)
 
 
+class BatchPartitionScan(BatchSeqScan):
+    """One partition of a parallel scan: a :class:`BatchSeqScan`
+    restricted to an explicit rowid list, assigned per execution by
+    the gather operator (heaps grow between executions of a cached
+    plan, so partition boundaries cannot be baked in at plan time).
+
+    Every batch carries the rowid annotation vector so downstream
+    fused kernels/filters/projections keep output rows aligned with
+    global rowids: the merge-mode gather k-way merges partition
+    streams back into exact serial rowid order, and partial aggregates
+    order merged groups by global first occurrence.
+
+    Visibility matches the serial scan exactly: under an ambient read
+    view each rowid resolves through
+    :meth:`~repro.db.storage.HeapTable.view_entry` (overlay upserts,
+    overlay deletes, history chains); the committed-latest path reads
+    the heap directly.
+    """
+
+    def __init__(self, table, qualifier: str,
+                 track_lineage: bool) -> None:
+        ex.SeqScan.__init__(self, table, qualifier, track_lineage)
+        self.rowids: list[int] = []
+
+    def batches(self) -> Iterator[RowBatch]:
+        table = self.table
+        width = len(self.schema)
+        rowids = self.rowids
+        view = table.active_view()
+        if self.track_lineage or view is not None:
+            name = table.name
+            if view is None:
+                heap = table.rows
+                versions = table.versions
+                resolved = [(rowid, heap[rowid], versions[rowid])
+                            for rowid in rowids]
+            else:
+                overlay = view.overlay_for(name)
+                resolved = []
+                for rowid in rowids:
+                    found = table.view_entry(rowid, view, overlay)
+                    if found is not None:
+                        resolved.append((rowid, found[0], found[1]))
+            for start in range(0, len(resolved), BATCH_SIZE):
+                chunk = resolved[start:start + BATCH_SIZE]
+                chunk_rows = [values for _, values, _ in chunk]
+                columns = list(zip(*chunk_rows)) if width else []
+                lineages = (lineage_singletons(
+                    name, [(rowid, version) for rowid, _, version in chunk])
+                    if self.track_lineage else None)
+                yield RowBatch(columns, len(chunk), lineages, None,
+                               chunk_rows,
+                               [rowid for rowid, _, _ in chunk])
+            return
+        heap = table.rows
+        needed = self.needed_columns
+        prune = needed is not None and len(needed) < width
+        for start in range(0, len(rowids), BATCH_SIZE):
+            chunk_ids = rowids[start:start + BATCH_SIZE]
+            chunk_rows = [heap[rowid] for rowid in chunk_ids]
+            if prune:
+                columns: list = [None] * width
+                for index in sorted(needed):
+                    columns[index] = [row[index] for row in chunk_rows]
+            else:
+                columns = list(zip(*chunk_rows)) if width else []
+            yield RowBatch(columns, len(chunk_rows), None, None,
+                           chunk_rows, chunk_ids)
+
+
 class BatchIndexScan(BatchOperator, ex.IndexScan):
     """Columnar index lookup: chunks the row IndexScan's output (the
     probe itself is already set-at-a-time over the hash buckets)."""
@@ -329,10 +417,13 @@ class FusedScanFilterProject(BatchOperator):
             if dense:
                 lineages = (None if batch.lineages is None else
                             [batch.lineages[index] for index in picked])
-                yield RowBatch(out_columns, len(picked), lineages, None)
+                rowids = (None if batch.rowids is None else
+                          [batch.rowids[index] for index in picked])
+                yield RowBatch(out_columns, len(picked), lineages, None,
+                               None, rowids)
             else:
                 yield RowBatch(out_columns, batch.count, batch.lineages,
-                               out_sel, batch.row_major)
+                               out_sel, batch.row_major, batch.rowids)
 
 
 class BatchFilter(BatchOperator, ex.Filter):
@@ -350,7 +441,8 @@ class BatchFilter(BatchOperator, ex.Filter):
             sel = refine(batch.columns, batch.selection())
             if sel:
                 yield RowBatch(batch.columns, batch.count,
-                               batch.lineages, sel, batch.row_major)
+                               batch.lineages, sel, batch.row_major,
+                               batch.rowids)
 
 
 class BatchProject(BatchOperator, ex.Project):
@@ -372,7 +464,8 @@ class BatchProject(BatchOperator, ex.Project):
                 continue
             columns = [fn(batch.columns, sel) for fn in batch_fns]
             yield RowBatch(columns, len(sel),
-                           batch.gathered_lineages(), None)
+                           batch.gathered_lineages(), None, None,
+                           batch.gathered_rowids())
 
 
 def _dense_batch(rows: list[tuple], lineages: list | None,
@@ -580,6 +673,19 @@ class BatchGroupAggregate(BatchOperator, ex.GroupAggregate):
             for call in self.aggregate_calls]
 
     def batches(self) -> Iterator[RowBatch]:
+        groups, order = self._accumulate()
+        self._ensure_global_group(groups, order)
+        return _chunk_annotated(self._finalize(groups, order),
+                                len(self.schema))
+
+    def _accumulate(self) -> tuple[dict, list]:
+        """Drain the child into per-group accumulator states.
+
+        Split out of :meth:`batches` so partition-parallel execution
+        can run the same accumulation over a partition's sub-stream
+        and ship the *partial* states to the parent for an exact
+        merge + shared finalize (see :class:`BatchAggregateGather`).
+        """
         group_fns = self._group_batch_fns
         input_fns = self._input_batch_fns
         single_key = len(group_fns) == 1
@@ -614,6 +720,7 @@ class BatchGroupAggregate(BatchOperator, ex.GroupAggregate):
             lineages = batch.gathered_lineages()
             sel_list = sel if type(sel) is list else list(sel)
             row_major = batch.row_major
+            rowid_vector = batch.rowids
             for key, bucket in positions.items():
                 group_key = ((key,) if group_fns and single_key
                              else key)
@@ -625,6 +732,8 @@ class BatchGroupAggregate(BatchOperator, ex.GroupAggregate):
                         else tuple(column[first]
                                    for column in batch.columns))
                     state = self._new_state(representative)
+                    if rowid_vector is not None:
+                        state["first_rowid"] = rowid_vector[first]
                     groups[group_key] = state
                     order.append(group_key)
                 whole = len(bucket) == size
@@ -640,9 +749,7 @@ class BatchGroupAggregate(BatchOperator, ex.GroupAggregate):
                     group_lineage = state["lineage"]
                     for position in bucket:
                         group_lineage.update(lineages[position])
-        self._ensure_global_group(groups, order)
-        return _chunk_annotated(self._finalize(groups, order),
-                                len(self.schema))
+        return groups, order
 
 
 def _concat_batches(batches: Iterator[RowBatch],
@@ -779,6 +886,307 @@ class BatchUnion(BatchOperator, ex.Union):
     def batches(self) -> Iterator[RowBatch]:
         for child in self.children:
             yield from batches_of(child)
+
+
+# ---------------------------------------------------------------------------
+# Partition-parallel execution: Exchange / Gather
+# ---------------------------------------------------------------------------
+
+
+def parallel_scan_leaf(node: ex.Operator):
+    """The :class:`BatchSeqScan` leaf of a parallel-eligible pipeline.
+
+    Eligible: a chain of fused kernels / filters / projections over
+    exactly one base-table sequential scan. Returns None for anything
+    else (joins, index scans, unions) — those plans stay serial.
+    """
+    while isinstance(node, (FusedScanFilterProject, BatchFilter,
+                            BatchProject)):
+        node = node.child
+    if type(node) is BatchSeqScan:
+        return node
+    return None
+
+
+def _clone_pipeline(node: ex.Operator,
+                    scans: list) -> BatchOperator:
+    """Rebuild a parallel-eligible pipeline with the base scan swapped
+    for a :class:`BatchPartitionScan` (appended to ``scans``). The
+    clone recompiles its kernels once (plan-time cost, cached on the
+    gather) and shares no mutable state with the template, so each
+    worker drains its own operator instances."""
+    if isinstance(node, FusedScanFilterProject):
+        child = _clone_pipeline(node.child, scans)
+        if node.projections is not None:
+            return FusedScanFilterProject(child, node.predicates,
+                                          node.projections, node.schema)
+        return FusedScanFilterProject(child, node.predicates)
+    if isinstance(node, BatchFilter):
+        return BatchFilter(_clone_pipeline(node.child, scans),
+                           node.predicate)
+    if isinstance(node, BatchProject):
+        return BatchProject(_clone_pipeline(node.child, scans),
+                            node.output_expressions, node.schema)
+    scan = BatchPartitionScan(node.table, node.qualifier,
+                              node.track_lineage)
+    scan.needed_columns = node.needed_columns
+    scans.append(scan)
+    return scan
+
+
+def _drain_thunk(root: BatchOperator, state, view):
+    """A worker task: install the session's snapshot, drain a
+    partition pipeline, return picklable dense results.
+
+    The payload is ``(rows, lineages|None, rowids, seconds, count)``
+    — plain tuples, frozensets of TupleRef, and ints, all of which
+    cross the fork pipe via pickle.
+    """
+    def task():
+        started = perf_counter()
+        previous = state.current if state is not None else None
+        if state is not None:
+            state.current = view
+        try:
+            rows: list = []
+            lineages: list = []
+            rowids: list = []
+            tracking = False
+            for batch in root.batches():
+                batch_rows = batch.rows()
+                gathered = batch.gathered_lineages()
+                if gathered is not None:
+                    if not tracking:
+                        lineages.extend([EMPTY_LINEAGE] * len(rows))
+                        tracking = True
+                    lineages.extend(gathered)
+                elif tracking:
+                    lineages.extend([EMPTY_LINEAGE] * len(batch_rows))
+                gathered_ids = batch.gathered_rowids()
+                if gathered_ids is not None:
+                    rowids.extend(gathered_ids)
+                rows.extend(batch_rows)
+        finally:
+            if state is not None:
+                state.current = previous
+        return (rows, lineages if tracking else None, rowids,
+                perf_counter() - started, len(rows))
+    return task
+
+
+def _merge_row_payloads(payloads: list, merge_mode: bool,
+                        width: int) -> Iterator[RowBatch]:
+    """Merge per-partition dense results back into the serial row
+    order: concatenation for contiguous rowid-range partitions, a
+    k-way merge by global rowid for hash-partition streams."""
+    tracking = any(payload[1] is not None for payload in payloads)
+    all_rows: list = []
+    all_lineages: list = []
+    if merge_mode:
+        streams = []
+        for rows, lineages, rowids, _seconds, _count in payloads:
+            if not rows:
+                continue
+            filled = (lineages if lineages is not None
+                      else [EMPTY_LINEAGE] * len(rows))
+            streams.append(zip(rowids, rows, filled))
+        for _rowid, row, lineage in heapq.merge(*streams,
+                                                key=itemgetter(0)):
+            all_rows.append(row)
+            if tracking:
+                all_lineages.append(lineage)
+    else:
+        for rows, lineages, _rowids, _seconds, _count in payloads:
+            all_rows.extend(rows)
+            if tracking:
+                all_lineages.extend(
+                    lineages if lineages is not None
+                    else [EMPTY_LINEAGE] * len(rows))
+    for start in range(0, len(all_rows), BATCH_SIZE):
+        chunk = all_rows[start:start + BATCH_SIZE]
+        yield _dense_batch(
+            chunk,
+            all_lineages[start:start + BATCH_SIZE] if tracking else None,
+            width)
+
+
+class _GatherBase(ex.Gather, BatchOperator):
+    """Shared exchange planning for the two gather variants.
+
+    Partition lists are computed at *execution* time (cached plans
+    outlive heap growth): a hash-partitioned table contributes its
+    bucket lists (merge mode — output restored to rowid order by
+    k-way merge); otherwise the candidate rowid universe splits into
+    contiguous ranges (concat mode — order-preserving by
+    construction). Under an ambient read view the hash buckets (which
+    only reflect committed-latest state) are bypassed in favor of
+    range partitioning over the view's candidate rowids, so snapshot
+    visibility never depends on bucket maintenance.
+    """
+
+    def __init__(self, template, scan: BatchSeqScan, context) -> None:
+        self.template = template
+        self.schema = template.schema
+        self.context = context
+        self.workers = context.workers
+        self._scan = scan
+        self._clones: list = []
+        self._clone_scans: list[BatchPartitionScan] = []
+        self.partition_stats: list[dict] | None = None
+
+    def _make_clone(self, scans: list):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _ensure_clones(self, count: int) -> None:
+        while len(self._clones) < count:
+            scans: list = []
+            self._clones.append(self._make_clone(scans))
+            self._clone_scans.append(scans[0])
+
+    def _partition_lists(self) -> tuple[list[list[int]], bool]:
+        table = self._scan.table
+        spec = table.partition_spec
+        if spec is not None and table.active_view() is None:
+            return (par.bucket_lists(table.partition_rowids(),
+                                     self.workers), True)
+        return (par.split_ranges(table.candidate_rowids(),
+                                 self.workers), False)
+
+    def _dispatch(self) -> tuple[list, bool]:
+        """Partition, fork (or not), and collect worker payloads."""
+        lists, merge_mode = self._partition_lists()
+        lists = [chunk for chunk in lists if chunk]
+        if not lists:
+            lists = [[]]
+        self._ensure_clones(len(lists))
+        table = self._scan.table
+        state = table.mvcc
+        view = table.active_view()
+        thunks = []
+        for index, chunk in enumerate(lists):
+            self._clone_scans[index].rowids = chunk
+            thunks.append(self._make_thunk(self._clones[index], state,
+                                           view))
+        payloads = self.context.make_pool().run(thunks)
+        self.partition_stats = [
+            {"partition": index, "rows": payload[-1],
+             "seconds": payload[-2]}
+            for index, payload in enumerate(payloads)]
+        return payloads, merge_mode
+
+    def _make_thunk(self, clone, state, view):  # pragma: no cover
+        raise NotImplementedError
+
+
+class BatchGather(_GatherBase):
+    """Exchange + Gather over a scan/filter/project pipeline.
+
+    Each worker drains a clone of ``template`` restricted to its
+    partition's rowids; the parent merges the dense results — rows
+    *and* lineage-annotation vectors — back into the exact serial
+    order and re-chunks them into batches. Downstream operators
+    cannot tell the difference from a serial scan.
+    """
+
+    def _make_clone(self, scans: list):
+        return _clone_pipeline(self.template, scans)
+
+    def _make_thunk(self, clone, state, view):
+        return _drain_thunk(clone, state, view)
+
+    def batches(self) -> Iterator[RowBatch]:
+        payloads, merge_mode = self._dispatch()
+        yield from _merge_row_payloads(payloads, merge_mode,
+                                       len(self.schema))
+
+
+def _partial_aggregate_thunk(clone, state, view):
+    """Worker task for partial aggregation: accumulate the partition,
+    ship ordered ``(key, accumulators, representative, lineage,
+    first_rowid)`` partial states (all picklable — accumulators hold
+    plain counters/totals/sets)."""
+    def task():
+        started = perf_counter()
+        previous = state.current if state is not None else None
+        if state is not None:
+            state.current = view
+        try:
+            groups, order = clone._accumulate()
+        finally:
+            if state is not None:
+                state.current = previous
+        partial = [
+            (key,
+             groups[key]["accumulators"],
+             groups[key]["representative"],
+             frozenset(groups[key]["lineage"]),
+             groups[key]["first_rowid"])
+            for key in order]
+        return (partial, perf_counter() - started, len(partial))
+    return task
+
+
+class BatchAggregateGather(_GatherBase):
+    """Partial→final parallel GroupAggregate.
+
+    Workers run the *accumulation* phase of a cloned
+    :class:`BatchGroupAggregate` over their partition and ship partial
+    group states; the parent merges accumulators pairwise
+    (:meth:`repro.db.expressions.Accumulator.merge`) and runs the
+    template's finalize (HAVING, output projection) once.
+
+    The planner only builds this node when every aggregate in the
+    query is merge-exact (:func:`repro.db.expressions.merge_exact_aggregate`),
+    so the merged result is bit-identical to the serial fold. Group
+    output order is restored to first-seen serial order: partition-
+    major for range partitions (ranges are rowid-ordered), by global
+    first-contribution rowid for hash-partition streams. Lineage per
+    group is the union of the partials' lineage sets — exactly the
+    serial union.
+    """
+
+    def _make_clone(self, scans: list):
+        template = self.template
+        return BatchGroupAggregate(
+            _clone_pipeline(template.child, scans),
+            template.group_expressions, template.output_expressions,
+            template.schema, template.having)
+
+    def _make_thunk(self, clone, state, view):
+        return _partial_aggregate_thunk(clone, state, view)
+
+    def batches(self) -> Iterator[RowBatch]:
+        payloads, merge_mode = self._dispatch()
+        groups: dict = {}
+        order: list = []
+        for partial, _seconds, _count in payloads:
+            for key, accumulators, representative, lineage, \
+                    first_rowid in partial:
+                state = groups.get(key)
+                if state is None:
+                    groups[key] = {
+                        "accumulators": accumulators,
+                        "representative": representative,
+                        "lineage": set(lineage),
+                        "first_rowid": first_rowid,
+                    }
+                    order.append(key)
+                    continue
+                for mine, other in zip(state["accumulators"],
+                                       accumulators):
+                    mine.merge(other)
+                state["lineage"].update(lineage)
+                if (first_rowid is not None
+                        and state["first_rowid"] is not None
+                        and first_rowid < state["first_rowid"]):
+                    state["first_rowid"] = first_rowid
+                    state["representative"] = representative
+        if merge_mode:
+            order.sort(key=lambda key: groups[key]["first_rowid"])
+        template = self.template
+        template._ensure_global_group(groups, order)
+        return _chunk_annotated(template._finalize(groups, order),
+                                len(self.schema))
 
 
 class BatchInstrumented(BatchOperator, ex.Instrumented):

@@ -1,0 +1,390 @@
+"""Partition-parallel execution: pools, partitioned storage, planner
+placement, EXPLAIN integration, MVCC snapshots, and crash surfacing.
+
+The parity-first harness lives in ``test_differential_parallel.py``;
+this file covers the machinery itself — the fork/in-process pools, the
+hash-partition bookkeeping on the heap, the WAL/checkpoint persistence
+of partition specs (with the packaged ``.tbl`` bytes provably
+unchanged), the cost-gated Gather placement, and the failure path
+(:class:`repro.errors.WorkerCrashError` with every worker reaped).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.db import Database
+from repro.db import parallel
+from repro.db.storage import stable_hash
+from repro.errors import CatalogError, WorkerCrashError
+
+pytestmark = pytest.mark.parallel
+
+
+# -- worker pools -------------------------------------------------------------
+
+class TestPools:
+    def test_in_process_pool_runs_in_order(self):
+        seen = []
+        pool = parallel.InProcessPool()
+        results = pool.run([lambda i=i: (seen.append(i), i * 10)[1]
+                            for i in range(4)])
+        assert results == [0, 10, 20, 30]
+        assert seen == [0, 1, 2, 3]
+
+    def test_in_process_pool_child_hook_sees_partition_index(self):
+        hooked = []
+        pool = parallel.InProcessPool(child_hook=hooked.append)
+        pool.run([lambda: None, lambda: None, lambda: None])
+        assert hooked == [0, 1, 2]
+
+    def test_fork_pool_returns_results_in_partition_order(self):
+        pool = parallel.ForkPool()
+        results = pool.run([lambda i=i: i * i for i in range(5)])
+        assert results == [0, 1, 4, 9, 16]
+
+    def test_fork_pool_reaps_every_worker(self):
+        pool = parallel.ForkPool()
+        pool.run([lambda: 1, lambda: 2, lambda: 3])
+        assert len(pool.last_pids) == 3
+        for pid in pool.last_pids:
+            # already reaped by the pool: a second wait must fail
+            with pytest.raises(ChildProcessError):
+                os.waitpid(pid, os.WNOHANG)
+
+    def test_fork_pool_propagates_worker_exceptions(self):
+        def boom():
+            raise ValueError("inside the worker")
+
+        pool = parallel.ForkPool()
+        with pytest.raises(ValueError, match="inside the worker"):
+            pool.run([lambda: 1, boom])
+        for pid in pool.last_pids:
+            with pytest.raises(ChildProcessError):
+                os.waitpid(pid, os.WNOHANG)
+
+    def test_fork_pool_surfaces_dead_worker_as_crash_error(self):
+        # the hook runs inside the forked child; partition 1 dies
+        # before writing its result frame
+        pool = parallel.ForkPool(
+            child_hook=lambda index: os._exit(9) if index == 1 else None)
+        with pytest.raises(WorkerCrashError, match=r"\[1\]"):
+            pool.run([lambda: "a", lambda: "b", lambda: "c"])
+        assert len(pool.last_pids) == 3
+        for pid in pool.last_pids:
+            with pytest.raises(ChildProcessError):
+                os.waitpid(pid, os.WNOHANG)
+
+
+class TestSplitting:
+    def test_split_ranges_round_trips(self):
+        items = list(range(17))
+        for parts in (1, 2, 3, 4, 16, 17, 40):
+            chunks = parallel.split_ranges(items, parts)
+            assert [x for chunk in chunks for x in chunk] == items
+            assert all(chunks)
+            assert len(chunks) <= max(parts, 1)
+
+    def test_split_ranges_empty_input(self):
+        assert parallel.split_ranges([], 4) == [[]] or \
+            parallel.split_ranges([], 4) == []
+
+    def test_bucket_lists_sorts_each_worker_stream(self):
+        buckets = [[9, 1], [4, 2], [7], [3, 8]]
+        lists = parallel.bucket_lists(buckets, 2)
+        assert len(lists) == 2
+        assert all(rowids == sorted(rowids) for rowids in lists)
+        merged = sorted(x for rowids in lists for x in rowids)
+        assert merged == [1, 2, 3, 4, 7, 8, 9]
+
+
+# -- partitioned storage ------------------------------------------------------
+
+def make_db(rows=60):
+    database = Database()
+    database.execute("CREATE TABLE t (a integer, b text, c float)")
+    if rows:
+        database.execute("INSERT INTO t VALUES " + ", ".join(
+            f"({i}, 'tag{i % 5}', {i * 0.5})" for i in range(rows)))
+    return database
+
+
+class TestPartitionedHeap:
+    def test_stable_hash_is_deterministic_across_types(self):
+        assert stable_hash(None) == 0
+        assert stable_hash(7) == 7
+        assert stable_hash("amber") == stable_hash("amber")
+        assert stable_hash(1.5) == stable_hash(1.5)
+
+    def test_buckets_cover_exactly_the_committed_rows(self):
+        database = make_db()
+        table = database.catalog.get_table("t")
+        table.set_partitioning("b", 4)
+        buckets = table.partition_rowids()
+        assert len(buckets) == 4
+        flat = sorted(r for bucket in buckets for r in bucket)
+        assert flat == sorted(table.rows)
+        for bucket in buckets:
+            assert bucket == sorted(bucket)
+
+    def test_buckets_track_insert_update_delete(self):
+        database = make_db()
+        table = database.catalog.get_table("t")
+        table.set_partitioning("a", 3)
+        database.execute("INSERT INTO t VALUES (100, 'new', 1.0)")
+        database.execute("UPDATE t SET a = 200 WHERE a = 10")
+        database.execute("DELETE FROM t WHERE a < 5")
+        flat = sorted(r for bucket in table.partition_rowids()
+                      for r in bucket)
+        assert flat == sorted(table.rows)
+        for bucket_index, bucket in enumerate(table.partition_rowids()):
+            for rowid in bucket:
+                assert table.partition_of(table.rows[rowid]) \
+                    == bucket_index
+
+    def test_partition_count_must_be_positive(self):
+        database = make_db(rows=0)
+        table = database.catalog.get_table("t")
+        with pytest.raises(CatalogError):
+            table.set_partitioning("a", 0)
+
+    def test_partition_column_must_exist(self):
+        database = make_db(rows=0)
+        with pytest.raises(CatalogError):
+            database.set_table_partitioning("t", "nope", 4)
+
+
+class TestPartitionPersistence:
+    def test_spec_survives_wal_replay(self, tmp_path):
+        database = Database(data_directory=tmp_path)
+        database.execute("CREATE TABLE t (a integer, b text)")
+        database.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        database.set_table_partitioning("t", "b", 8)
+        # no checkpoint: the spec must come back through the WAL
+        reopened = Database(data_directory=tmp_path)
+        spec = reopened.catalog.get_table("t").partition_spec
+        assert spec is not None
+        assert (spec.column, spec.count) == ("b", 8)
+        flat = sorted(
+            r for bucket in
+            reopened.catalog.get_table("t").partition_rowids()
+            for r in bucket)
+        assert flat == sorted(reopened.catalog.get_table("t").rows)
+
+    def test_spec_survives_checkpoint(self, tmp_path):
+        database = Database(data_directory=tmp_path)
+        database.execute("CREATE TABLE t (a integer, b text)")
+        database.execute("INSERT INTO t VALUES (1, 'x')")
+        database.set_table_partitioning("t", "a", 2)
+        database.checkpoint()  # resets the WAL: meta must carry it
+        reopened = Database(data_directory=tmp_path)
+        spec = reopened.catalog.get_table("t").partition_spec
+        assert spec is not None
+        assert (spec.column, spec.count) == ("a", 2)
+
+    def test_clearing_partitioning_is_durable(self, tmp_path):
+        database = Database(data_directory=tmp_path)
+        database.execute("CREATE TABLE t (a integer, b text)")
+        database.set_table_partitioning("t", "a", 2)
+        database.set_table_partitioning("t", None)
+        database.checkpoint()
+        reopened = Database(data_directory=tmp_path)
+        assert reopened.catalog.get_table("t").partition_spec is None
+
+    def test_table_file_bytes_do_not_change(self, tmp_path):
+        database = Database(data_directory=tmp_path)
+        database.execute("CREATE TABLE t (a integer, b text)")
+        database.execute("INSERT INTO t VALUES " + ", ".join(
+            f"({i}, 'v{i}')" for i in range(20)))
+        database.checkpoint()
+        before = (tmp_path / "t.tbl").read_bytes()
+        database.set_table_partitioning("t", "b", 4)
+        database.checkpoint()
+        after = (tmp_path / "t.tbl").read_bytes()
+        assert before == after  # partitioning is metadata, not layout
+
+
+# -- planner placement and EXPLAIN --------------------------------------------
+
+def explain_text(database, sql):
+    return "\n".join(
+        row[0] for row in database.execute("EXPLAIN " + sql).rows)
+
+
+class TestPlannerPlacement:
+    def test_serial_below_min_rows_threshold(self):
+        database = make_db()  # 60 rows << DEFAULT_MIN_ROWS
+        database.set_parallel_workers(4)
+        assert "Gather" not in explain_text(
+            database, "SELECT a FROM t WHERE a < 10")
+
+    def test_gather_above_threshold(self):
+        database = make_db()
+        database.set_parallel_workers(4, min_rows=0)
+        text = explain_text(database, "SELECT a FROM t WHERE a < 10")
+        assert "Gather (workers=4)" in text
+        assert "SeqScan on t" in text
+
+    def test_one_worker_never_gathers(self):
+        database = make_db()
+        database.set_parallel_workers(1, min_rows=0)
+        assert "Gather" not in explain_text(
+            database, "SELECT a FROM t")
+
+    def test_merge_exact_aggregate_gathers_partials(self):
+        database = make_db()
+        database.set_parallel_workers(2, min_rows=0)
+        text = explain_text(
+            database, "SELECT b, count(*), sum(a) FROM t GROUP BY b")
+        assert "AggregateGather (workers=2" in text
+
+    def test_float_aggregate_keeps_serial_fold(self):
+        # avg (and sum over floats) must accumulate in serial order:
+        # the scan parallelizes, the fold does not
+        database = make_db()
+        database.set_parallel_workers(2, min_rows=0)
+        text = explain_text(
+            database, "SELECT b, avg(c) FROM t GROUP BY b")
+        assert "AggregateGather" not in text
+        assert text.index("GroupAggregate") < text.index("Gather")
+
+    def test_join_scan_sides_parallelize(self):
+        database = make_db()
+        database.execute("CREATE TABLE d (b text, label text)")
+        database.execute("INSERT INTO d VALUES " + ", ".join(
+            f"('tag{i}', 'L{i}')" for i in range(5)))
+        database.set_parallel_workers(2, min_rows=0)
+        text = explain_text(
+            database,
+            "SELECT t.a, d.label FROM t, d WHERE t.b = d.b")
+        assert "HashJoin" in text
+        assert text.count("Gather (workers=2)") == 2
+
+    def test_index_scan_stays_serial(self):
+        database = make_db()
+        database.execute("CREATE INDEX t_a ON t (a)")
+        database.set_parallel_workers(4, min_rows=0)
+        text = explain_text(database, "SELECT b FROM t WHERE a = 3")
+        assert "IndexScan" in text
+        assert "Gather" not in text
+
+    def test_explain_analyze_reports_per_partition_stats(self):
+        database = make_db()
+        database.set_parallel_workers(
+            2, pool_factory=parallel.InProcessPool, min_rows=0)
+        result = database.execute(
+            "EXPLAIN ANALYZE SELECT a FROM t WHERE a < 30")
+        operators = result.stats["analyze"]["operators"]
+        gather = next(entry for entry in operators
+                      if entry["operator"] == "Gather")
+        assert gather["workers"] == 2
+        partitions = gather["partitions"]
+        assert len(partitions) == 2
+        assert sum(entry["rows"] for entry in partitions) == 30
+        text = "\n".join(row[0] for row in result.rows)
+        assert "Gather (workers=2)" in text
+        assert "Partition 0:" in text and "Partition 1:" in text
+
+
+# -- execution semantics ------------------------------------------------------
+
+class TestParallelExecution:
+    def test_fork_pool_answers_match_serial(self):
+        database = make_db(rows=500)
+        serial = database.query(
+            "SELECT b, count(*), sum(a), min(a), max(a) FROM t "
+            "GROUP BY b")
+        database.set_parallel_workers(4, min_rows=0)
+        assert database.query(
+            "SELECT b, count(*), sum(a), min(a), max(a) FROM t "
+            "GROUP BY b") == serial
+
+    def test_hash_partitioned_merge_matches_serial(self):
+        database = make_db(rows=500)
+        database.set_table_partitioning("t", "b", 8)
+        serial = database.query("SELECT a, b FROM t WHERE a % 3 = 0")
+        database.set_parallel_workers(
+            4, pool_factory=parallel.InProcessPool, min_rows=0)
+        assert database.query(
+            "SELECT a, b FROM t WHERE a % 3 = 0") == serial
+
+    def test_worker_crash_aborts_statement_and_recovers(self):
+        database = make_db(rows=200)
+        crashing = parallel.ForkPool(
+            child_hook=lambda index: os._exit(1) if index else None)
+        database.set_parallel_workers(
+            2, pool_factory=lambda: crashing, min_rows=0)
+        with pytest.raises(WorkerCrashError):
+            database.query("SELECT count(*) FROM t")
+        for pid in crashing.last_pids:
+            with pytest.raises(ChildProcessError):
+                os.waitpid(pid, os.WNOHANG)
+        # the statement failed whole; the engine serves the next one
+        database.set_parallel_workers(2, min_rows=0)
+        assert database.query("SELECT count(*) FROM t") == [(200,)]
+        assert database.mvcc.active_count() == 0
+
+    def test_parallel_read_respects_transaction_snapshot(self):
+        database = make_db(rows=100)
+        database.set_parallel_workers(
+            2, pool_factory=parallel.InProcessPool, min_rows=0)
+        reader = database.create_session("reader")
+        database.execute("BEGIN", session=reader)
+        before = database.query("SELECT count(*), sum(a) FROM t",
+                                session=reader)
+        # another session commits while the snapshot is open
+        database.execute("INSERT INTO t VALUES (999, 'zz', 0.0)")
+        database.execute("DELETE FROM t WHERE a = 0")
+        assert database.query("SELECT count(*), sum(a) FROM t",
+                              session=reader) == before
+        database.execute("COMMIT", session=reader)
+        after = database.query("SELECT count(*), sum(a) FROM t",
+                               session=reader)
+        assert after != before
+
+    def test_transaction_overlay_is_visible_to_its_own_workers(self):
+        database = make_db(rows=100)
+        database.set_parallel_workers(
+            2, pool_factory=parallel.InProcessPool, min_rows=0)
+        writer = database.create_session("writer")
+        database.execute("BEGIN", session=writer)
+        database.execute("INSERT INTO t VALUES (500, 'mine', 1.0)",
+                         session=writer)
+        assert database.query(
+            "SELECT count(*) FROM t WHERE a = 500",
+            session=writer) == [(1,)]
+        # other sessions do not see the uncommitted row
+        assert database.query(
+            "SELECT count(*) FROM t WHERE a = 500") == [(0,)]
+        database.execute("ROLLBACK", session=writer)
+
+    def test_partitioned_transaction_falls_back_to_range_mode(self):
+        # hash buckets reflect committed-latest rows only; under an
+        # open snapshot the gather must ignore them and still answer
+        # exactly like serial
+        database = make_db(rows=120)
+        database.set_table_partitioning("t", "a", 4)
+        session = database.create_session("txn")
+        database.execute("BEGIN", session=session)
+        database.execute("UPDATE t SET b = 'moved' WHERE a < 10",
+                         session=session)
+        serial = database.query(
+            "SELECT a, b FROM t ORDER BY a", session=session)
+        database.set_parallel_workers(
+            4, pool_factory=parallel.InProcessPool, min_rows=0)
+        assert database.query(
+            "SELECT a, b FROM t ORDER BY a", session=session) == serial
+        database.execute("ROLLBACK", session=session)
+
+    def test_dropping_a_table_drops_its_partition_spec(self, tmp_path):
+        database = Database(data_directory=tmp_path)
+        database.execute("CREATE TABLE t (a integer)")
+        database.set_table_partitioning("t", "a", 2)
+        database.execute("DROP TABLE t")
+        database.execute("CREATE TABLE t (a integer)")
+        assert database.catalog.get_table("t").partition_spec is None
+        database.checkpoint()
+        reopened = Database(data_directory=tmp_path)
+        assert reopened.catalog.get_table("t").partition_spec is None
