@@ -447,6 +447,14 @@ class Database:
         self.parallel_workers = 1
         self.parallel_pool_factory: Optional[Callable[[], Any]] = None
         self.parallel_min_rows = parmod.DEFAULT_MIN_ROWS
+        # the resident worker pool (PersistentForkPool) when workers>1
+        # and no explicit pool factory was injected; torn down on
+        # close/drain and recycled whenever engine state moves
+        self.parallel_pool: Optional[parmod.PersistentForkPool] = None
+        # bumped on every set_table_partitioning call; part of the
+        # plan-cache key so a co-partitioned join plan can never be
+        # served after the specs it was planned against changed
+        self.partition_epoch = 0
         # MVCC state lives on the catalog so tables can consult it;
         # sessions are handed out here (one per server connection, plus
         # the default one used by the embedded single-connection API)
@@ -753,7 +761,7 @@ class Database:
                 return replayed
         key = (PlanCache.normalize(sql), bool(provenance),
                self.catalog.version, self.catalog.stats_version,
-               self.parallel_workers)
+               self.partition_epoch, self.parallel_workers)
         planned = self.plan_cache.get(key)
         if planned is not None:
             with self._read_view(session):
@@ -817,7 +825,8 @@ class Database:
         are used but not cached."""
         key = (prepared.normalized_sql or PlanCache.normalize(prepared.sql),
                bool(provenance), self.catalog.version,
-               self.catalog.stats_version, self.parallel_workers)
+               self.catalog.stats_version, self.partition_epoch,
+               self.parallel_workers)
         planned = self.plan_cache.get(key)
         if planned is None:
             track = provenance or prepared.statement.provenance
@@ -1101,13 +1110,20 @@ class Database:
                                  "partitions": self.catalog.dump_partitions()})
         if self.wal is not None:
             self.wal.reset()
+        # resident pool workers inherited pre-checkpoint file state;
+        # retire them so the next statement forks fresh ones
+        if self.parallel_pool is not None:
+            self.parallel_pool.recycle()
 
     def close(self) -> None:
         """Checkpoint and release (no open handles are held otherwise).
 
         A failed (poisoned) instance skips the checkpoint: its heap has
         diverged from the log and must not overwrite the durable state.
+        The resident worker pool is torn down either way — worker
+        processes must never outlive the engine.
         """
+        self._teardown_parallel_pool()
         if self.failed:
             return
         self.checkpoint()
@@ -1143,14 +1159,45 @@ class Database:
         if min_rows is not None and min_rows != self.parallel_min_rows:
             self.plan_cache.clear()
             self.parallel_min_rows = int(min_rows)
+        self._teardown_parallel_pool()
         self.parallel_workers = workers
         self.parallel_pool_factory = pool_factory
+        if workers > 1 and pool_factory is None:
+            # one resident pool per setting: workers spawn lazily at
+            # the first parallel dispatch and are reused across
+            # statements until DDL/checkpoint/repartition recycles
+            # them or close()/drain tears the pool down
+            self.parallel_pool = parmod.PersistentForkPool(
+                workers, engine=self)
+
+    def _teardown_parallel_pool(self) -> None:
+        if self.parallel_pool is not None:
+            self.parallel_pool.close()
+            self.parallel_pool = None
+
+    def parallel_pool_counters(self) -> Optional[dict]:
+        """Resident-pool counters (forks/reuse/crashes/respawns and
+        live worker pids) for the stats frames; None without a pool."""
+        if self.parallel_pool is None:
+            return None
+        return self.parallel_pool.counters()
 
     def _parallel_context(self) -> Optional[parmod.ParallelContext]:
         if self.parallel_workers <= 1:
             return None
+        pool_factory = self.parallel_pool_factory
+        if pool_factory is None:
+            # late-bound: cached plans hold their planning context, so
+            # the factory must resolve the engine's *current* resident
+            # pool at dispatch time (a drained/torn-down pool falls
+            # back to fork-per-statement, which stays correct)
+            def pool_factory():
+                pool = self.parallel_pool
+                if pool is not None:
+                    return pool
+                return parmod.default_pool_factory()
         return parmod.ParallelContext(
-            self.parallel_workers, self.parallel_pool_factory,
+            self.parallel_workers, pool_factory,
             self.parallel_min_rows)
 
     def set_table_partitioning(self, table_name: str, column: str | None,
@@ -1178,8 +1225,10 @@ class Database:
             spec = table.partition_spec
             record = {"op": "partition", "table": table.name,
                       "column": spec.column, "count": spec.count}
-        # partition lists are read at execution time, so cached plans
-        # stay valid — but the WAL record must commit durably now
+        # the partition epoch invalidates cached plans (a cached
+        # co-partitioned join must not outlive the specs it was
+        # planned against) and re-syncs resident pool workers
+        self.partition_epoch += 1
         self._log_ddl(record)
         self._commit_wal_batch()
 
@@ -1271,6 +1320,9 @@ class Database:
                 "total_seconds": (operators[0]["seconds"]
                                   if operators else 0.0),
             }
+            pool_counters = self.parallel_pool_counters()
+            if pool_counters is not None:
+                stats["analyze"]["parallel_pool"] = pool_counters
         lines = explain_plan(root)
         return StatementResult(
             kind="explain",

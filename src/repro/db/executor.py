@@ -678,6 +678,13 @@ def instrument_plan(root: Operator,
     must only be applied to a freshly built plan — never to one served
     from the plan cache.
     """
+    from repro.db import vector  # deferred: vector imports this module
+    if isinstance(root, vector.BatchParallelHashJoin):
+        # Both join inputs execute (at least partly) inside pool
+        # workers; wrapping them would re-point the sides and defeat
+        # the leaf-scan eligibility checks. Per-partition timings
+        # surface via build_partition_stats instead.
+        return vector.BatchInstrumented(root, timer)
     for attribute in _CHILD_ATTRS:
         child = getattr(root, attribute, None)
         if isinstance(child, Operator):
@@ -686,7 +693,6 @@ def instrument_plan(root: Operator,
     if isinstance(children, list):
         root.children = [instrument_plan(child, timer)
                         for child in children]
-    from repro.db import vector  # deferred: vector imports this module
     if isinstance(root, vector.BatchOperator):
         return vector.BatchInstrumented(root, timer)
     return Instrumented(root, timer)

@@ -12,6 +12,17 @@ module supplies the process layer under the ``Gather`` operators:
   pipe. Children exit with ``os._exit`` so they never run the parent's
   cleanup handlers, and the parent reaps every child it forked — on
   success, on worker crash, and on parent-side errors alike.
+* :class:`PersistentForkPool` — the production runtime: N long-lived
+  resident workers forked once per ``set_parallel_workers(n)`` and
+  reused across statements over a length-prefixed task/result frame
+  protocol. Tasks (``repro.db.vector.PartitionTask``) pickle their
+  AST-level pipeline spec through the task pipe; the worker rebuilds
+  the operators against its own fork-time engine snapshot. The pool
+  stamps the engine state (logical clock, catalog version, stats
+  version, partition epoch) at fork time and recycles its residents
+  whenever the stamp moves — so a resident never scans a stale heap —
+  and respawns crashed workers so one bad statement cannot poison the
+  pool.
 * :class:`InProcessPool` — the deterministic twin used by the parity
   and property test suites: same thunks, same merge path, no
   processes. Injecting it makes partition/merge logic testable with
@@ -34,7 +45,9 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import struct
+import time
 from typing import Any, Callable
 
 from repro.errors import WorkerCrashError
@@ -191,6 +204,327 @@ def default_pool_factory() -> ForkPool:
     return ForkPool()
 
 
+# The engine of the resident worker process (set once, right after the
+# persistent pool forks a worker). PartitionTask specs name tables by
+# string on the way through the task pipe; this is what the worker
+# resolves those names against.
+_WORKER_ENGINE: Any = None
+
+
+def current_worker_engine() -> Any:
+    return _WORKER_ENGINE
+
+
+# Parent-side pipe fds of every live resident in this process, across
+# all pools and engines. A freshly forked resident closes every fd in
+# here: a pipe write-end surviving in an unrelated fork would defeat
+# the EOF-based shutdown and crash detection of the resident it
+# belongs to (the reader only sees EOF once *all* write-ends close).
+_RESIDENT_PARENT_FDS: set[int] = set()
+
+
+class _Resident:
+    """One live worker of a :class:`PersistentForkPool`."""
+
+    __slots__ = ("pid", "task_w", "result_r")
+
+    def __init__(self, pid: int, task_w: int, result_r: int) -> None:
+        self.pid = pid
+        self.task_w = task_w
+        self.result_r = result_r
+
+
+def _write_frame(fd: int, payload: bytes) -> None:
+    os.write(fd, struct.pack("<Q", len(payload)))
+    os.write(fd, payload)
+
+
+def _read_frame_bytes(read_fd: int) -> bytes | None:
+    """One length-prefixed raw frame, or None if the writer died."""
+    def read_exact(wanted: int) -> bytes | None:
+        pieces = []
+        remaining = wanted
+        while remaining:
+            piece = os.read(read_fd, remaining)
+            if not piece:
+                return None
+            pieces.append(piece)
+            remaining -= len(piece)
+        return b"".join(pieces)
+
+    header = read_exact(8)
+    if header is None:
+        return None
+    (length,) = struct.unpack("<Q", header)
+    return read_exact(length)
+
+
+class PersistentForkPool:
+    """N long-lived forked workers reused across statements.
+
+    Where :class:`ForkPool` pays a fork + COW snapshot per thunk per
+    statement, this pool forks its residents once and then ships each
+    statement's partition tasks through pipes: a length-prefixed
+    pickled ``(task_index, task)`` frame per task, a length-prefixed
+    pickled ``(ok, value)`` frame per result. Tasks must therefore be
+    picklable — :class:`repro.db.vector.PartitionTask` ships an
+    AST-level pipeline spec (tables collapse to names, the session's
+    :class:`~repro.db.mvcc.ReadView` pickles whole) and the worker
+    rebuilds the operators against its own engine copy. Unpicklable
+    legacy thunks transparently fall back to one-shot
+    :class:`ForkPool` semantics.
+
+    Freshness: a resident's heap is a copy-on-write snapshot taken at
+    fork time, so the pool records an engine *stamp* — ``(logical
+    clock, catalog version, stats version, partition epoch)`` — when
+    it spawns and recycles every resident the moment the live stamp
+    differs (any committed write, DDL, ANALYZE, or repartition).
+    Read-only workloads — the ones parallel plans serve — therefore
+    fork exactly ``workers`` times per pool lifetime and reuse the
+    residents for every subsequent statement.
+
+    Crash semantics match :class:`ForkPool`: a resident that dies
+    before completing its result frame surfaces as
+    :class:`WorkerCrashError` after its pid is reaped; the dead slot
+    respawns on the next dispatch, so the statement's retry (parallel
+    plans are read-only, hence retry-safe) finds a healthy pool.
+    """
+
+    def __init__(self, workers: int, engine: Any = None,
+                 child_hook: Callable[[int], None] | None = None) -> None:
+        self.workers = max(1, int(workers))
+        self.engine = engine
+        self.child_hook = child_hook
+        self._slots: list[_Resident | None] = [None] * self.workers
+        self._stamp: tuple | None = None
+        self._crashed_slots: set[int] = set()
+        # counters surfaced via server_stats() and EXPLAIN ANALYZE
+        self.forks = 0
+        self.reuse_hits = 0
+        self.worker_crashes = 0
+        self.respawns = 0
+        # pids of the residents used by the most recent run
+        self.last_pids: list[int] = []
+
+    # -- observability -------------------------------------------------------
+
+    def counters(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "forks": self.forks,
+            "reuse_hits": self.reuse_hits,
+            "worker_crashes": self.worker_crashes,
+            "respawns": self.respawns,
+            "resident_pids": self.worker_pids(),
+        }
+
+    def worker_pids(self) -> list[int]:
+        return [slot.pid for slot in self._slots if slot is not None]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _engine_stamp(self) -> tuple | None:
+        engine = self.engine
+        if engine is None:
+            return None
+        return (engine.clock.now, engine.catalog.version,
+                engine.catalog.stats_version,
+                getattr(engine, "partition_epoch", 0))
+
+    def _ensure_workers(self) -> bool:
+        """Spawn or recycle residents; True if every slot was reused."""
+        if any(slot is not None for slot in self._slots):
+            stamp = self._engine_stamp()
+            if stamp != self._stamp:
+                self.recycle()
+        reused = True
+        for index in range(self.workers):
+            if self._slots[index] is None:
+                if reused:
+                    # stamp what the first fork of this generation sees;
+                    # every sibling forks under the same (single-threaded)
+                    # engine state
+                    self._stamp = self._engine_stamp()
+                reused = False
+                self._spawn(index)
+        return reused
+
+    def _spawn(self, index: int) -> None:
+        task_r, task_w = os.pipe()
+        result_r, result_w = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - runs only in the forked child
+            os.close(task_w)
+            os.close(result_r)
+            # close inherited parent-side ends of every other live
+            # resident's pipes — this pool's and any other pool's in
+            # the process — or their EOF-based shutdown and crash
+            # detection would hang on the fd this fork still holds
+            for fd in list(_RESIDENT_PARENT_FDS):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            self._worker_main(index, task_r, result_w)
+        os.close(task_r)
+        os.close(result_w)
+        _RESIDENT_PARENT_FDS.add(task_w)
+        _RESIDENT_PARENT_FDS.add(result_r)
+        self._slots[index] = _Resident(pid, task_w, result_r)
+        self.forks += 1
+        if index in self._crashed_slots:
+            self._crashed_slots.discard(index)
+            self.respawns += 1
+
+    def _worker_main(  # pragma: no cover - runs only in the forked child
+            self, index: int, task_r: int, result_w: int) -> None:
+        """Resident loop: read task frames until EOF, never return.
+
+        Post-fork lines are invisible to coverage (same as
+        ForkPool._child_main); behavior is pinned by parent-side
+        assertions in the pool tests: result frames, error frames,
+        crash-mid-frame, recycle-on-EOF."""
+        global _WORKER_ENGINE
+        _WORKER_ENGINE = self.engine
+        while True:
+            frame = _read_frame_bytes(task_r)
+            if frame is None:
+                os._exit(0)
+            try:
+                task_index, task = pickle.loads(frame)
+                if self.child_hook is not None:
+                    self.child_hook(task_index)
+                payload = pickle.dumps((True, task()),
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+            except BaseException as error:
+                try:
+                    payload = pickle.dumps(
+                        (False, error), protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception:
+                    payload = pickle.dumps(
+                        (False, WorkerCrashError(
+                            f"worker {index} failed with unpicklable "
+                            f"error: {error!r}")),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+            try:
+                _write_frame(result_w, payload)
+            except BaseException:
+                os._exit(1)
+
+    def _retire(self, index: int, crashed: bool = False) -> None:
+        slot = self._slots[index]
+        if slot is None:
+            return
+        self._slots[index] = None
+        for fd in (slot.task_w, slot.result_r):
+            _RESIDENT_PARENT_FDS.discard(fd)
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+        try:
+            # EOF on the task pipe makes the resident exit promptly;
+            # the bounded wait + SIGKILL fallback guarantees _retire
+            # never hangs even if some other fork of this process
+            # still holds the pipe's write end open
+            for _ in range(400):
+                done, _status = os.waitpid(slot.pid, os.WNOHANG)
+                if done:
+                    break
+                time.sleep(0.005)
+            else:  # pragma: no cover - leaked-fd fallback
+                os.kill(slot.pid, signal.SIGKILL)
+                os.waitpid(slot.pid, 0)
+        except (ChildProcessError,
+                ProcessLookupError):  # pragma: no cover - already gone
+            pass
+        if crashed:
+            self._crashed_slots.add(index)
+            self.worker_crashes += 1
+
+    def recycle(self) -> None:
+        """Tear down every resident (they exit on task-pipe EOF and are
+        reaped here); the next dispatch forks a fresh generation."""
+        for index in range(self.workers):
+            self._retire(index)
+        self._stamp = None
+
+    def close(self) -> None:
+        self.recycle()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.recycle()
+        except Exception:
+            pass
+
+    # -- dispatch ------------------------------------------------------------
+
+    def run(self, tasks: list) -> list[Any]:
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+            return InProcessPool(self.child_hook).run(tasks)
+        try:
+            frames = [pickle.dumps((index, task),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+                      for index, task in enumerate(tasks)]
+        except Exception:
+            # unpicklable task (a raw closure): one-shot fork semantics
+            return ForkPool(self.child_hook).run(tasks)
+        if self._ensure_workers():
+            self.reuse_hits += 1
+        slot_count = self.workers
+        self.last_pids = [
+            self._slots[which].pid
+            for which in range(min(slot_count, len(tasks)))
+            if self._slots[which] is not None]
+        results: list[Any] = [None] * len(tasks)
+        crashed: list[int] = []
+        dead: set[int] = set()
+        worker_error: BaseException | None = None
+        # dispatch in rounds of at most one task per resident (gathers
+        # never exceed this anyway): a worker blocked writing a large
+        # result never has the parent blocked writing it a second task
+        for start in range(0, len(tasks), slot_count):
+            round_indexes = range(start, min(start + slot_count,
+                                             len(tasks)))
+            for task_index in round_indexes:
+                which = task_index % slot_count
+                slot = self._slots[which]
+                if which in dead or slot is None:
+                    dead.add(which)
+                    continue
+                try:
+                    _write_frame(slot.task_w, frames[task_index])
+                except OSError:
+                    dead.add(which)
+            for task_index in round_indexes:
+                which = task_index % slot_count
+                slot = self._slots[which]
+                if which in dead or slot is None:
+                    crashed.append(task_index)
+                    continue
+                payload = _read_frame_bytes(slot.result_r)
+                if payload is None:
+                    dead.add(which)
+                    crashed.append(task_index)
+                    continue
+                ok, value = pickle.loads(payload)
+                if ok:
+                    results[task_index] = value
+                elif worker_error is None:
+                    worker_error = value
+        for which in dead:
+            self._retire(which, crashed=True)
+        if crashed:
+            raise WorkerCrashError(
+                f"parallel worker(s) {sorted(crashed)} died before "
+                f"returning results; statement aborted, all workers "
+                f"reaped")
+        if worker_error is not None:
+            raise worker_error
+        return results
+
+
 class ParallelContext:
     """Everything the planner and Gather operators need to go parallel:
     the worker count, how to obtain a pool, and the cost threshold
@@ -244,3 +578,18 @@ def bucket_lists(buckets: list[list[int]], parts: int) -> list[list[int]]:
         assigned[index % len(assigned)].extend(bucket)
     lists = [sorted(rowids) for rowids in assigned if rowids]
     return lists if lists else [[]]
+
+
+def aligned_bucket_lists(buckets: list[list[int]],
+                         parts: int) -> list[list[int]]:
+    """Like :func:`bucket_lists` but *keeps empty worker slots*, so
+    two tables with equal bucket counts map bucket ``i`` to the same
+    worker slot on both sides — the co-partitioned join pairs slot
+    ``k`` of the build side with slot ``k`` of the probe side and
+    relies on that alignment even when one side's buckets are empty."""
+    parts = max(1, parts)
+    slots: list[list[int]] = [[] for _ in range(min(parts,
+                                                    len(buckets)) or 1)]
+    for index, bucket in enumerate(buckets):
+        slots[index % len(slots)].extend(bucket)
+    return [sorted(rowids) for rowids in slots]

@@ -124,7 +124,24 @@ def explain_plan(root: Operator) -> list[str]:
                 return (f"AggregateGather (workers={operator.workers}, "
                         f"{len(template.group_expressions)} keys, "
                         f"{len(template.aggregate_calls)} aggregates)")
+            if isinstance(operator, vector.BatchParallelSort):
+                note = (f", top-k={operator.ship_limit}"
+                        if operator.ship_limit is not None else "")
+                return (f"Parallel Sort (workers={operator.workers}"
+                        f"{note}) on {operator.keys}")
             return f"Gather (workers={operator.workers})"
+        if isinstance(operator, vector.BatchParallelHashJoin):
+            from repro.db.sql.render import render_expression
+            keys = " AND ".join(
+                f"{render_expression(l)} = {render_expression(r)}"
+                for l, r in zip(operator.left_keys,
+                                operator.right_keys))
+            mode = ("co-partitioned" if operator.copart
+                    else "parallel build")
+            return (f"HashJoin ({operator.kind}, "
+                    f"build={operator.build_side}) on {keys} "
+                    f"[Parallel Hash Build: {mode}, "
+                    f"workers={operator.workers}]")
         if isinstance(operator, vector.FusedScanFilterProject):
             parts = [f"{len(operator.predicates)} predicates"]
             if operator.projections is not None:
@@ -187,6 +204,15 @@ def explain_plan(root: Operator) -> list[str]:
                           f"time={entry['seconds'] * 1000.0:.3f} ms")
             walk(operator.template, depth + 1)
             return
+        if isinstance(operator, vector.BatchParallelHashJoin):
+            stats = operator.build_partition_stats
+            if stats:
+                for entry in stats:
+                    lines.append(
+                        "  " * (depth + 1)
+                        + f"Build Partition {entry['partition']}: "
+                          f"rows={entry['rows']} "
+                          f"time={entry['seconds'] * 1000.0:.3f} ms")
         for attr in ("child", "left", "right"):
             node = getattr(operator, attr, None)
             if isinstance(node, Operator):
@@ -251,6 +277,13 @@ def analyze_stats(root: Operator) -> list[dict]:
             entries.append(entry)
             walk(inner.template, depth + 1)
             return
+        if isinstance(inner, vector.BatchParallelHashJoin):
+            entry["workers"] = inner.workers
+            entry["join_mode"] = ("co-partitioned" if inner.copart
+                                  else "parallel build")
+            if inner.build_partition_stats is not None:
+                entry["build_partitions"] = list(
+                    inner.build_partition_stats)
         entries.append(entry)
         for attr in ("child", "left", "right"):
             node = getattr(inner, attr, None)
@@ -850,14 +883,11 @@ def _collect_source_tables(sources) -> list[str]:
 
 
 def _parallel_input_rows(scan: Operator) -> float:
-    """Estimated rows a parallel scan would read: the table-level
-    ANALYZE estimate when one was stamped on the scan node, else the
-    session-visible row count (overlay-aware, like every other cost
-    input)."""
-    estimate = getattr(scan, "est_rows", None)
-    if estimate is not None:
-        return float(estimate)
-    return float(scan.table.visible_row_count())
+    """Estimated rows a parallel scan would read — delegated to
+    :func:`repro.db.stats.parallel_input_estimate` so every parallel
+    placement gate prices inputs through one policy."""
+    from repro.db.stats import parallel_input_estimate
+    return parallel_input_estimate(scan)
 
 
 def _try_gather(node: Operator,
@@ -894,12 +924,115 @@ def _try_gather(node: Operator,
             return vector.BatchAggregateGather(node, scan, context)
         node.child = vector.BatchGather(node.child, scan, context)
         return node
+    if (isinstance(node, vector.BatchLimit)
+            and type(node.child) is vector.BatchSort):
+        replacement = _try_parallel_sort(node.child, node, context)
+        if replacement is None:
+            return None
+        node.child = replacement
+        return node
+    if type(node) is vector.BatchSort:
+        return _try_parallel_sort(node, None, context)
+    if type(node) is vector.BatchHashJoin:
+        return _try_parallel_join(node, context)
     scan = vector.parallel_scan_leaf(node)
     if scan is None:
         return None
     if _parallel_input_rows(scan) < context.min_rows:
         return None
     return vector.BatchGather(node, scan, context)
+
+
+def _try_parallel_sort(sort: Operator, limit: Operator | None,
+                       context: parmod.ParallelContext):
+    """Replace an eligible ``BatchSort`` with a
+    :class:`repro.db.vector.BatchParallelSort`. Under ORDER BY ...
+    LIMIT the limit stays in the plan but ``offset + limit`` pushes
+    down as top-k, so each worker ships at most that many rows."""
+    scan = vector.parallel_scan_leaf(sort.child)
+    if scan is None:
+        return None
+    if _parallel_input_rows(scan) < context.min_rows:
+        return None
+    ship_limit = None
+    if limit is not None and limit.limit is not None:
+        ship_limit = limit.limit + limit.offset
+    return vector.BatchParallelSort(sort.child, scan, context,
+                                    sort.keys, ship_limit)
+
+
+def _join_key_partition_column(key, side: Operator, spec) -> bool:
+    """True when ``key`` is a bare column reference that resolves, on
+    an unprojected side chain, to the side table's partition column —
+    the requirement for bucket-aligned joining."""
+    if not isinstance(key, ast.ColumnRef):
+        return False
+    node = side
+    while isinstance(node, (vector.FusedScanFilterProject,
+                            vector.BatchFilter, vector.BatchProject)):
+        if isinstance(node, vector.BatchProject):
+            return False  # projection re-shapes the side schema
+        if (isinstance(node, vector.FusedScanFilterProject)
+                and node.projections is not None):
+            return False
+        node = node.child
+    try:
+        index = side.schema.index_of(key.name, key.qualifier)
+    except CatalogError:
+        return False
+    return side.schema.columns[index].name == spec.column
+
+
+def _copart_eligible(join, context: parmod.ParallelContext) -> bool:
+    """Plan-time check for the co-partitioned join fast path: both
+    sides hash-partitioned with equal bucket counts on exactly the
+    (single) join key. Execution re-checks the cheap invariants, and
+    the plan cache keys on the engine's partition epoch, so a cached
+    copart plan can never outlive the specs it was planned against."""
+    if len(join.left_keys) != 1:
+        return False
+    left_scan = vector.parallel_scan_leaf(join.left)
+    right_scan = vector.parallel_scan_leaf(join.right)
+    if left_scan is None or right_scan is None:
+        return False
+    left_spec = left_scan.table.partition_spec
+    right_spec = right_scan.table.partition_spec
+    if (left_spec is None or right_spec is None
+            or left_spec.count != right_spec.count):
+        return False
+    return (_join_key_partition_column(join.left_keys[0], join.left,
+                                       left_spec)
+            and _join_key_partition_column(join.right_keys[0],
+                                           join.right, right_spec))
+
+
+def _try_parallel_join(join, context: parmod.ParallelContext):
+    """Parallel placement for a hash join: the co-partitioned fast
+    path when both sides qualify and the probe side clears the cost
+    gate, else a parallel build when the build side does. Returning
+    None lets the walker descend and parallelize the sides
+    individually as plain gathers (the pre-existing behavior)."""
+    build_on_left = join.build_side == "left"
+    build_side = join.left if build_on_left else join.right
+    probe_side = join.right if build_on_left else join.left
+    if _copart_eligible(join, context):
+        probe_scan = vector.parallel_scan_leaf(probe_side)
+        if _parallel_input_rows(probe_scan) >= context.min_rows:
+            return vector.BatchParallelHashJoin(join, context,
+                                                copart=True)
+    build_scan = vector.parallel_scan_leaf(build_side)
+    if build_scan is None:
+        return None
+    if _parallel_input_rows(build_scan) < context.min_rows:
+        return None
+    parallel = vector.BatchParallelHashJoin(join, context)
+    # the probe side still streams through in-process: give it its
+    # own gather when it qualifies on its own merits
+    if build_on_left:
+        parallel.right = parallelize_plan(parallel.right, context)
+    else:
+        parallel.left = parallelize_plan(parallel.left, context)
+    return parallel
 
 
 def parallelize_plan(root: Operator,

@@ -151,6 +151,95 @@ def test_fork_pool_wire_identical(parity_pair, sql):
                     == encode_frame(result_to_wire(baseline)))
 
 
+# -- parallel sort / parallel hash build shapes -------------------------------
+
+TENTPOLE_SHAPES = [
+    # full parallel sort (per-partition sort, k-way merge in the parent)
+    "SELECT k, a, b FROM t WHERE a < 80 ORDER BY a DESC, k",
+    # top-k pushdown: each partition ships at most limit+offset rows
+    "SELECT k, a FROM t ORDER BY b, k LIMIT 17",
+    "SELECT k, name FROM t ORDER BY name DESC, k LIMIT 25 OFFSET 3",
+    # NULL ordering under the merge (b and name carry NULLs)
+    "SELECT k, b FROM t ORDER BY b DESC, k LIMIT 40",
+    # parallel hash build: the build side builds inside the workers
+    "SELECT t.k, t.a, small.label FROM t, small WHERE t.k = small.k",
+    "SELECT t.k, small.label FROM t LEFT JOIN small ON t.k = small.k "
+    "WHERE t.a < 50",
+    # join under an ORDER BY: both new operators in one plan
+    "SELECT t.k, small.label FROM t, small WHERE t.k = small.k "
+    "ORDER BY t.k DESC LIMIT 10",
+]
+
+
+@pytest.mark.parametrize("sql", TENTPOLE_SHAPES)
+def test_parallel_sort_and_join_wire_identical(parity_pair, sql):
+    """The PR's new operators answer bit-identically to serial — rows,
+    order, lineage, wire bytes — at every worker count, on both heap
+    layouts."""
+    for database in parity_pair:
+        for provenance in (False, True):
+            serial(database)
+            baseline = database.execute(sql, provenance)
+            frame = encode_frame(result_to_wire(baseline))
+            for workers in WORKER_SWEEP:
+                set_workers(database, workers)
+                result = database.execute(sql, provenance)
+                assert result.rows == baseline.rows
+                assert result.lineages == baseline.lineages
+                assert encode_frame(result_to_wire(result)) == frame
+        serial(database)
+
+
+def explain_text(database, sql):
+    return "\n".join(
+        row[0] for row in database.execute("EXPLAIN " + sql).rows)
+
+
+def test_copartitioned_join_wire_identical():
+    """Both sides hash-partitioned on the join key: the planner takes
+    the co-partitioned fast path (no broadcast build) and the answer
+    stays bit-identical to serial."""
+    database = build_parity_db(False)
+    database.set_table_partitioning("t", "k", 4)
+    database.set_table_partitioning("small", "k", 4)
+    sql = ("SELECT t.k, t.a, small.label FROM t, small "
+           "WHERE t.k = small.k")
+    for provenance in (False, True):
+        serial(database)
+        baseline = database.execute(sql, provenance)
+        frame = encode_frame(result_to_wire(baseline))
+        for workers in WORKER_SWEEP:
+            set_workers(database, workers)
+            result = database.execute(sql, provenance)
+            assert result.rows == baseline.rows
+            assert result.lineages == baseline.lineages
+            assert encode_frame(result_to_wire(result)) == frame
+    set_workers(database, 4)
+    assert "co-partitioned" in explain_text(database, sql)
+
+
+PERSISTENT_SUBSET = TENTPOLE_SHAPES[1:2] + TENTPOLE_SHAPES[4:6]
+
+
+@pytest.mark.parametrize("sql", PERSISTENT_SUBSET)
+def test_persistent_pool_wire_identical(parity_pair, sql):
+    """The engine-owned resident pool (real forks, reused across
+    statements) answers bit-identically too."""
+    for database in parity_pair:
+        try:
+            for provenance in (False, True):
+                serial(database)
+                baseline = database.execute(sql, provenance)
+                database.set_parallel_workers(4, min_rows=0)
+                result = database.execute(sql, provenance)
+                assert result.rows == baseline.rows
+                assert result.lineages == baseline.lineages
+                assert (encode_frame(result_to_wire(result))
+                        == encode_frame(result_to_wire(baseline)))
+        finally:
+            serial(database)  # tear the residents down
+
+
 # -- packaged-directory byte identity -----------------------------------------
 
 WORKLOAD_QUERIES = [
@@ -160,7 +249,7 @@ WORKLOAD_QUERIES = [
 ]
 
 
-def run_twin(directory, workers):
+def run_twin(directory, workers, resident=False):
     database = Database(data_directory=directory)
     database.execute(
         "CREATE TABLE t (k integer, grp integer, a integer)")
@@ -171,7 +260,12 @@ def run_twin(directory, workers):
         f"({k}, 'L{k}')" for k in range(30)))
     database.set_table_partitioning("t", "grp", 4)
     if workers > 1:
-        set_workers(database, workers)
+        if resident:
+            # the engine-owned PersistentForkPool: exercises recycle
+            # on the mid-workload UPDATE and teardown on close()
+            database.set_parallel_workers(workers, min_rows=0)
+        else:
+            set_workers(database, workers)
     answers = [database.query(sql) for sql in WORKLOAD_QUERIES]
     database.execute("UPDATE t SET a = a + 1 WHERE k % 7 = 0")
     answers.append(database.query(WORKLOAD_QUERIES[0]))
@@ -187,6 +281,17 @@ def test_packaged_bytes_identical_to_serial_twin(tmp_path):
     parallel_answers = run_twin(parallel_dir, workers=4)
     assert parallel_answers == serial_answers
     assert tree_bytes(parallel_dir) == tree_bytes(serial_dir)
+
+
+def test_packaged_bytes_identical_with_resident_pool(tmp_path):
+    """The persistent pool's forked residents write nothing: a twin
+    served entirely by resident workers packages byte-identically."""
+    serial_dir = tmp_path / "serial"
+    resident_dir = tmp_path / "resident"
+    serial_answers = run_twin(serial_dir, workers=1)
+    resident_answers = run_twin(resident_dir, workers=4, resident=True)
+    assert resident_answers == serial_answers
+    assert tree_bytes(resident_dir) == tree_bytes(serial_dir)
 
 
 def test_parallel_reads_write_nothing(tmp_path):

@@ -78,6 +78,233 @@ class TestPools:
                 os.waitpid(pid, os.WNOHANG)
 
 
+class _Square:
+    """Picklable task: ships through the resident frame protocol."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def __call__(self):
+        return self.n * self.n
+
+
+class _Boom:
+    """Picklable task that raises inside the resident."""
+
+    def __call__(self):
+        raise ValueError("inside the resident")
+
+
+class _Die:
+    """Picklable task that kills its resident before the result frame."""
+
+    def __call__(self):
+        os._exit(7)
+
+
+class TestPersistentPool:
+    """The resident protocol itself: frames, reuse, error propagation,
+    crash surfacing, respawn, and the one-shot fallbacks."""
+
+    def test_runs_tasks_in_order_and_reuses_residents(self):
+        pool = parallel.PersistentForkPool(2)
+        try:
+            assert pool.run([_Square(i) for i in range(5)]) \
+                == [0, 1, 4, 9, 16]
+            first_pids = pool.worker_pids()
+            assert len(first_pids) == 2
+            assert pool.run([_Square(i) for i in range(3)]) == [0, 1, 4]
+            assert pool.worker_pids() == first_pids  # no new forks
+            counters = pool.counters()
+            assert counters["forks"] == 2
+            assert counters["reuse_hits"] == 1
+            assert counters["worker_crashes"] == 0
+        finally:
+            pool.close()
+
+    def test_close_reaps_every_resident(self):
+        pool = parallel.PersistentForkPool(3)
+        pool.run([_Square(1)] * 3)
+        pids = pool.worker_pids()
+        assert len(pids) == 3
+        pool.close()
+        assert pool.worker_pids() == []
+        for pid in pids:
+            with pytest.raises(ChildProcessError):
+                os.waitpid(pid, os.WNOHANG)
+
+    def test_task_error_propagates_and_residents_survive(self):
+        pool = parallel.PersistentForkPool(2)
+        try:
+            pool.run([_Square(1), _Square(2)])
+            pids = pool.worker_pids()
+            with pytest.raises(ValueError, match="inside the resident"):
+                pool.run([_Square(1), _Boom()])
+            # an ordinary exception is a result, not a crash: the
+            # residents live on and the next statement reuses them
+            assert pool.worker_pids() == pids
+            assert pool.run([_Square(3), _Square(4)]) == [9, 16]
+            assert pool.counters()["worker_crashes"] == 0
+        finally:
+            pool.close()
+
+    def test_crashed_resident_surfaces_reaps_and_respawns(self):
+        pool = parallel.PersistentForkPool(2)
+        try:
+            pool.run([_Square(1), _Square(2)])
+            doomed = pool.worker_pids()[1]
+            with pytest.raises(WorkerCrashError, match=r"\[1\]"):
+                pool.run([_Square(1), _Die()])
+            with pytest.raises(ChildProcessError):
+                os.waitpid(doomed, os.WNOHANG)  # already reaped
+            assert pool.counters()["worker_crashes"] == 1
+            # the dead slot respawns on the next dispatch
+            assert pool.run([_Square(5), _Square(6)]) == [25, 36]
+            counters = pool.counters()
+            assert counters["respawns"] == 1
+            assert counters["forks"] == 3
+        finally:
+            pool.close()
+
+    def test_sigkilled_resident_surfaces_and_next_run_succeeds(self):
+        import signal as signal_module
+
+        pool = parallel.PersistentForkPool(2)
+        try:
+            pool.run([_Square(1), _Square(2)])
+            os.kill(pool.worker_pids()[0], signal_module.SIGKILL)
+            with pytest.raises(WorkerCrashError):
+                pool.run([_Square(1), _Square(2)])
+            assert pool.run([_Square(3), _Square(4)]) == [9, 16]
+            assert pool.counters()["respawns"] >= 1
+        finally:
+            pool.close()
+
+    def test_unpicklable_tasks_fall_back_to_one_shot_forks(self):
+        pool = parallel.PersistentForkPool(2)
+        try:
+            value = object()  # unpicklable payload in the closure
+            assert pool.run([lambda: 7, lambda v=value: v is value]) \
+                == [7, True]
+            # the fallback never spawned residents
+            assert pool.worker_pids() == []
+            assert pool.counters()["forks"] == 0
+        finally:
+            pool.close()
+
+
+class TestPersistentPoolEngineLifecycle:
+    """The engine-owned resident pool: spawned by
+    ``set_parallel_workers``, reused across read statements, recycled
+    on any engine-state change, torn down on ``close``."""
+
+    def pooled_db(self, workers=2, rows=300):
+        database = make_db(rows=rows)
+        database.set_parallel_workers(workers, min_rows=0)
+        assert isinstance(database.parallel_pool,
+                          parallel.PersistentForkPool)
+        return database
+
+    def test_read_only_statements_fork_once_per_worker(self):
+        database = self.pooled_db(workers=2)
+        for bound in (10, 20, 30, 40, 50):
+            database.query(f"SELECT a, b FROM t WHERE a < {bound}")
+        counters = database.parallel_pool.counters()
+        assert counters["forks"] == 2  # exactly once per worker
+        assert counters["reuse_hits"] == 4
+        assert len(counters["resident_pids"]) == 2
+        database.close()
+
+    def test_any_commit_recycles_the_residents(self):
+        database = self.pooled_db(workers=2)
+        database.query("SELECT a FROM t WHERE a < 10")
+        stale = set(database.parallel_pool.worker_pids())
+        database.execute("INSERT INTO t VALUES (900, 'new', 9.0)")
+        # the next dispatch forks a fresh generation that sees the row
+        assert database.query(
+            "SELECT count(*) FROM t WHERE a = 900") == [(1,)]
+        fresh = set(database.parallel_pool.worker_pids())
+        assert fresh and fresh.isdisjoint(stale)
+        assert database.parallel_pool.forks == 4
+        database.close()
+
+    def test_ddl_analyze_and_repartition_each_recycle(self):
+        database = self.pooled_db(workers=2)
+        pool = database.parallel_pool
+
+        def generation():
+            database.query("SELECT a FROM t WHERE a < 25")
+            return set(pool.worker_pids())
+
+        seen = [generation()]
+        database.execute("CREATE TABLE other (x integer)")   # DDL
+        seen.append(generation())
+        database.execute("ANALYZE t")                        # stats
+        seen.append(generation())
+        database.set_table_partitioning("t", "a", 4)         # epoch
+        seen.append(generation())
+        for left, right in zip(seen, seen[1:]):
+            assert left.isdisjoint(right)
+        assert pool.forks == 2 * len(seen)
+        database.close()
+
+    def test_checkpoint_recycles_residents(self, tmp_path):
+        database = Database(data_directory=tmp_path)
+        database.execute("CREATE TABLE t (a integer, b text)")
+        database.execute("INSERT INTO t VALUES " + ", ".join(
+            f"({i}, 'x{i}')" for i in range(100)))
+        database.set_parallel_workers(2, min_rows=0)
+        database.query("SELECT a FROM t WHERE a < 50")
+        assert database.parallel_pool.worker_pids()
+        database.checkpoint()
+        # checkpoint retires the generation; the next statement respawns
+        assert database.parallel_pool.worker_pids() == []
+        database.query("SELECT a FROM t WHERE a < 50")
+        assert database.parallel_pool.forks == 4
+        database.close()
+
+    def test_close_tears_down_the_pool(self):
+        database = self.pooled_db(workers=2)
+        database.query("SELECT a FROM t WHERE a < 10")
+        pids = database.parallel_pool.worker_pids()
+        database.close()
+        assert database.parallel_pool is None
+        for pid in pids:
+            with pytest.raises(ChildProcessError):
+                os.waitpid(pid, os.WNOHANG)
+
+    def test_crash_respawn_next_statement_succeeds(self):
+        import signal as signal_module
+
+        database = make_db(rows=300)
+        serial_answer = database.query("SELECT b, count(*) FROM t GROUP BY b")
+        database.set_parallel_workers(2, min_rows=0)
+        database.query("SELECT a FROM t WHERE a < 10")
+        os.kill(database.parallel_pool.worker_pids()[0],
+                signal_module.SIGKILL)
+        with pytest.raises(WorkerCrashError):
+            database.query("SELECT b, count(*) FROM t GROUP BY b")
+        # the statement failed whole; the dead slot respawns and the
+        # very next statement answers exactly like serial
+        assert database.query(
+            "SELECT b, count(*) FROM t GROUP BY b") == serial_answer
+        assert database.parallel_pool.counters()["respawns"] >= 1
+        assert database.mvcc.active_count() == 0
+        database.close()
+
+    def test_explain_analyze_reports_pool_counters(self):
+        database = self.pooled_db(workers=2)
+        database.query("SELECT a FROM t WHERE a < 30")
+        result = database.execute(
+            "EXPLAIN ANALYZE SELECT a FROM t WHERE a < 30")
+        pool_stats = result.stats["analyze"]["parallel_pool"]
+        assert pool_stats["workers"] == 2
+        assert pool_stats["forks"] == 2
+        assert pool_stats["reuse_hits"] >= 1
+        assert len(pool_stats["resident_pids"]) == 2
+        database.close()
+
+
 class TestSplitting:
     def test_split_ranges_round_trips(self):
         items = list(range(17))
@@ -260,7 +487,9 @@ class TestPlannerPlacement:
             database,
             "SELECT t.a, d.label FROM t, d WHERE t.b = d.b")
         assert "HashJoin" in text
-        assert text.count("Gather (workers=2)") == 2
+        # build side builds inside the pool workers; probe side gathers
+        assert "Parallel Hash Build: parallel build, workers=2" in text
+        assert text.count("Gather (workers=2)") == 1
 
     def test_index_scan_stays_serial(self):
         database = make_db()
