@@ -459,6 +459,9 @@ class Database:
         # sessions are handed out here (one per server connection, plus
         # the default one used by the embedded single-connection API)
         self.mvcc = self.catalog.mvcc
+        # the catalog-owned columnar scan cache (repro.db.scancache);
+        # exposed here for the serving layer's counters and tests
+        self.scan_cache = self.catalog.scan_cache
         self._next_session_id = 1
         self._next_txn_id = 1
         self.session = self.create_session("default")
@@ -499,6 +502,9 @@ class Database:
             # (none today — the cache is born empty — but guard the
             # invariant against future pre-warm refactors)
             self.plan_cache.clear()
+            # same invariant for scan segments: a recovered engine must
+            # never serve a pre-crash cache image
+            self.catalog.scan_cache.invalidate_all()
         # file access hooks so a virtual OS can interpose COPY I/O
         self.read_file: Callable[[str], str] = (
             lambda path: Path(path).read_text())
@@ -1229,6 +1235,10 @@ class Database:
         # co-partitioned join must not outlive the specs it was
         # planned against) and re-syncs resident pool workers
         self.partition_epoch += 1
+        # partition-scan segments are keyed per rowid list; repartition
+        # changes every list, so drop them rather than let signature
+        # validation discover it one miss at a time
+        self.scan_cache.invalidate_table(table.name)
         self._log_ddl(record)
         self._commit_wal_batch()
 
@@ -1323,6 +1333,7 @@ class Database:
             pool_counters = self.parallel_pool_counters()
             if pool_counters is not None:
                 stats["analyze"]["parallel_pool"] = pool_counters
+            stats["analyze"]["scan_cache"] = self.scan_cache.counters()
         lines = explain_plan(root)
         return StatementResult(
             kind="explain",
@@ -1589,6 +1600,9 @@ class Database:
                                    create.if_not_exists)
         self.catalog.bump_version()
         self.plan_cache.clear()
+        # index DDL changes the cost landscape: drop cached segments so
+        # the planner's cached-scan discount restarts from a cold cache
+        self.scan_cache.invalidate_table(table.name)
         self._touched_tables.add(table.name)
         self._log_ddl({"op": "create_index", "table": table.name,
                        "name": index.name, "column": index.column})
@@ -1604,6 +1618,7 @@ class Database:
         table.drop_index(drop.name)
         self.catalog.bump_version()
         self.plan_cache.clear()
+        self.scan_cache.invalidate_table(table.name)
         self._touched_tables.add(table.name)
         self._log_ddl({"op": "drop_index", "name": drop.name.lower()})
         return StatementResult(kind="drop", source_tables=[table.name])
@@ -1631,6 +1646,9 @@ class Database:
                 "columns": len(table_stats.columns),
             }
         self.plan_cache.clear()
+        # statistics moved: strand cached segments so subsequent plans
+        # are costed against a cold cache, not yesterday's residency
+        self.scan_cache.invalidate_all()
         return StatementResult(kind="analyze", rowcount=len(names),
                                source_tables=list(names),
                                stats={"analyzed": summary})

@@ -386,6 +386,14 @@ class PersistentForkPool:
         crash-mid-frame, recycle-on-EOF."""
         global _WORKER_ENGINE
         _WORKER_ENGINE = self.engine
+        # populated scan-cache segments ride into the fork copy-on-write
+        # for free (stale generations die with the worker on recycle —
+        # any committed write moves the engine stamp); only the event
+        # counters are zeroed so a worker's numbers describe the worker
+        if self.engine is not None:
+            cache = getattr(self.engine, "scan_cache", None)
+            if cache is not None:
+                cache.reset_counters()
         while True:
             frame = _read_frame_bytes(task_r)
             if frame is None:

@@ -712,6 +712,7 @@ class DBServer:
                 "seconds": elapsed,
                 "result_cache": self.result_cache.counters(),
                 "plan_cache": self.database.plan_cache.counters(),
+                "scan_cache": self.database.scan_cache.counters(),
             }
             pool_counters = self.database.parallel_pool_counters()
             if pool_counters is not None:
@@ -1014,6 +1015,7 @@ class DBServer:
                                        for state in self._states.values()),
             "result_cache": self.result_cache.counters(),
             "plan_cache": self.database.plan_cache.counters(),
+            "scan_cache": self.database.scan_cache.counters(),
             "dedupe_ledger": self.database.dedupe_ledger.counters(),
             "draining": self.draining,
             "drain_rejections": self.drain_rejections,

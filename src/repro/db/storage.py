@@ -128,6 +128,15 @@ class HeapTable:
         self.versions: dict[int, int] = {}
         self.history: dict[int, list[tuple[int, int, tuple]]] = {}
         self.mvcc = None  # set by Catalog; None for standalone tables
+        # the catalog's shared columnar scan cache (see
+        # repro.db.scancache); None for standalone tables, which are
+        # never served from cached segments
+        self.scan_cache = None
+        # committed-rowid list reused across scans until a mutation
+        # changes the rowid set; builds are counted so tests can probe
+        # the reuse
+        self._rowid_cache: list[int] | None = None
+        self.rowid_cache_builds = 0
         self.next_rowid = 1
         self._pk_positions: tuple[int, ...] = tuple(
             index for index, column in enumerate(schema.columns)
@@ -171,6 +180,22 @@ class HeapTable:
             else:
                 del self.history[rowid]
 
+    def _note_mutation(self, rowids_changed: bool = True) -> None:
+        """Heap changed: strand cached scan state.
+
+        Every mutator calls this, so the scan cache can never serve a
+        stale segment — including from paths that bypass the WAL/MVCC
+        bookkeeping (direct bulk loads, WAL redo, package restore) and
+        from the mid-statement window where a multi-row statement has
+        already moved the commit watermark but not yet written its
+        last row. UPDATE keeps the rowid-list cache (the rowid *set*
+        is unchanged) but still drops segments (values changed).
+        """
+        if rowids_changed:
+            self._rowid_cache = None
+        if self.scan_cache is not None:
+            self.scan_cache.invalidate_table(self.name)
+
     def pk_key(self, row: tuple) -> tuple[Any, ...] | None:
         """The row's primary-key value, or None for PK-less tables."""
         if not self._pk_positions:
@@ -199,6 +224,7 @@ class HeapTable:
         for index in self.indexes.values():
             index.add(rowid, row[index.position])
         self._partition_add(rowid, row)
+        self._note_mutation()
         return rowid
 
     def update(self, rowid: int, values: Iterable[Any], tick: int) -> None:
@@ -225,6 +251,7 @@ class HeapTable:
         self._partition_add(rowid, row)
         self.rows[rowid] = row
         self.versions[rowid] = tick
+        self._note_mutation(rowids_changed=False)
 
     def delete(self, rowid: int, tick: int | None = None) -> None:
         """Remove a row. ``tick`` is the logical time of the removal;
@@ -243,6 +270,7 @@ class HeapTable:
         for index in self.indexes.values():
             index.remove(rowid, row[index.position])
         self._partition_remove(rowid, row)
+        self._note_mutation()
 
     def put_row(self, rowid: int, values: Iterable[Any],
                 version: int) -> None:
@@ -269,6 +297,7 @@ class HeapTable:
         for index in self.indexes.values():
             index.add(rowid, row[index.position])
         self._partition_add(rowid, row)
+        self._note_mutation()
 
     def remove_row(self, rowid: int) -> None:
         """Delete a row if present (idempotent WAL-redo delete)."""
@@ -307,6 +336,7 @@ class HeapTable:
         for index in self.indexes.values():
             index.add(rowid, row[index.position])
         self._partition_add(rowid, row)
+        self._note_mutation()
 
     def get(self, rowid: int) -> tuple[Any, ...]:
         row = self.rows.get(rowid)
@@ -379,8 +409,17 @@ class HeapTable:
         """
         view = self.active_view()
         if view is None:
-            rowids = list(self.rows)
-            return rowids if rowids == sorted(rowids) else sorted(rowids)
+            # reused across scans until a mutation changes the rowid
+            # set; callers only slice it (partition splitting), so the
+            # shared list is safe
+            cached = self._rowid_cache
+            if cached is None:
+                rowids = list(self.rows)
+                cached = (rowids if rowids == sorted(rowids)
+                          else sorted(rowids))
+                self._rowid_cache = cached
+                self.rowid_cache_builds += 1
+            return cached
         universe = set(self.rows)
         if self.history:
             universe.update(self.history)
@@ -454,6 +493,7 @@ class HeapTable:
             index.buckets.clear()
         for bucket in self.partitions:
             bucket.clear()
+        self._note_mutation()
 
     # -- hash partitioning -------------------------------------------------------
 

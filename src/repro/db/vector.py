@@ -58,6 +58,17 @@ BATCH_SIZE = 1024
 # same queries; production code never touches it.
 _VECTORIZED = True
 
+# Lineage annotation vectors materialized by scan paths (operators and
+# cached segments). The no-provenance path must keep this flat — zero
+# allocations — and cached segments allocate once per segment instead
+# of once per scan; tests assert both through this counter.
+LINEAGE_VECTOR_BUILDS = 0
+
+
+def note_lineage_vector_build() -> None:
+    global LINEAGE_VECTOR_BUILDS
+    LINEAGE_VECTOR_BUILDS += 1
+
 
 @contextmanager
 def row_at_a_time_plans():
@@ -229,15 +240,30 @@ class BatchSeqScan(BatchOperator, ex.SeqScan):
     all pure-vector) prunes materialization: only those column
     vectors are built, the rest stay None placeholders that the
     kernel provably never reads.
+
+    When the table belongs to a catalog with a scan cache
+    (:mod:`repro.db.scancache`), the scan is served from prebuilt
+    cached segments whenever that is provably exact — committed-latest
+    reads, and snapshot reads the cache's delta pass covers — and
+    ``cache_note`` records hit/miss for EXPLAIN ANALYZE. Anything the
+    cache declines falls through to the walk below unchanged.
     """
 
     needed_columns: set[int] | None = None
+    cache_note: str | None = None
 
     def batches(self) -> Iterator[RowBatch]:
         table = self.table
         width = len(self.schema)
+        cache = table.scan_cache
+        if cache is not None:
+            served = cache.serve_seq_scan(self, table)
+            if served is not None:
+                yield from served
+                return
         if self.track_lineage or table.active_view() is not None:
             name = table.name
+            track = self.track_lineage
             iterator = table.scan_versions()
             while True:
                 chunk = list(islice(iterator, BATCH_SIZE))
@@ -245,9 +271,12 @@ class BatchSeqScan(BatchOperator, ex.SeqScan):
                     return
                 chunk_rows = [values for _, values, _ in chunk]
                 columns = list(zip(*chunk_rows)) if width else []
-                lineages = (lineage_singletons(
-                    name, [(rowid, version) for rowid, _, version in chunk])
-                    if self.track_lineage else None)
+                lineages = None
+                if track:
+                    lineages = lineage_singletons(
+                        name,
+                        [(rowid, version) for rowid, _, version in chunk])
+                    note_lineage_vector_build()
                 yield RowBatch(columns, len(chunk), lineages, None,
                                chunk_rows)
             return
@@ -308,8 +337,15 @@ class BatchPartitionScan(BatchSeqScan):
         width = len(self.schema)
         rowids = self.rowids
         view = table.active_view()
+        cache = table.scan_cache
+        if cache is not None and view is None:
+            served = cache.serve_partition_scan(self, table, rowids)
+            if served is not None:
+                yield from served
+                return
         if self.track_lineage or view is not None:
             name = table.name
+            track = self.track_lineage
             if view is None:
                 heap = table.rows
                 versions = table.versions
@@ -326,9 +362,12 @@ class BatchPartitionScan(BatchSeqScan):
                 chunk = resolved[start:start + BATCH_SIZE]
                 chunk_rows = [values for _, values, _ in chunk]
                 columns = list(zip(*chunk_rows)) if width else []
-                lineages = (lineage_singletons(
-                    name, [(rowid, version) for rowid, _, version in chunk])
-                    if self.track_lineage else None)
+                lineages = None
+                if track:
+                    lineages = lineage_singletons(
+                        name,
+                        [(rowid, version) for rowid, _, version in chunk])
+                    note_lineage_vector_build()
                 yield RowBatch(columns, len(chunk), lineages, None,
                                chunk_rows,
                                [rowid for rowid, _, _ in chunk])
